@@ -1,0 +1,68 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark module regenerates the measurements behind one table or
+figure of the paper (see DESIGN.md section 3).  Datasets are built once per
+session at ``BENCH_SCALE`` (default 0.15 — laptop-friendly; raise it via
+the environment to approach the paper's regime, e.g.::
+
+    BENCH_SCALE=0.5 pytest benchmarks/ --benchmark-only
+
+Absolute times are pure-Python and not comparable to the paper's C++;
+the comparisons *between* algorithms are the reproduced result.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datasets import load_dataset, ppi_network
+
+BENCH_SCALE = float(os.environ.get("BENCH_SCALE", "0.15"))
+
+#: Default parameters of the paper's evaluation (Section VI-A).
+DEFAULT_K = 10
+DEFAULT_TAU = 0.1
+
+_cache: dict = {}
+
+
+def dataset(name: str, **kwargs):
+    """Session-cached dataset at the benchmark scale."""
+    key = (name, BENCH_SCALE, tuple(sorted(kwargs.items())))
+    if key not in _cache:
+        _cache[key] = load_dataset(name, scale=BENCH_SCALE, **kwargs)
+    return _cache[key]
+
+
+def ppi(scale_factor: float = 1.0):
+    """Session-cached PPI network (scaled relative to BENCH_SCALE * 4,
+    since the paper's CORE network is itself small)."""
+    scale = min(1.0, BENCH_SCALE * 4 * scale_factor)
+    key = ("ppi", scale)
+    if key not in _cache:
+        _cache[key] = ppi_network(
+            n_proteins=max(80, int(700 * scale)),
+            n_complexes=max(4, int(28 * scale)),
+            background_interactions=int(1200 * scale),
+            seed=16,
+        )
+    return _cache[key]
+
+
+@pytest.fixture(scope="session")
+def bench_params():
+    """The (k, tau) defaults used across the benchmark suite."""
+    return DEFAULT_K, DEFAULT_TAU
+
+
+def once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark.
+
+    The search algorithms are deterministic and too slow for multi-round
+    statistics at useful scales; a single measured round mirrors how the
+    paper reports a single wall-clock time per configuration.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,191 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation toggles one optimization of the paper's pipeline while
+holding everything else fixed, verifying output equality and measuring the
+cost/benefit:
+
+* cut-based optimization on/off inside MUCE++ (Section III-C);
+* in-search TopKCore pruning on/off (Algorithm 4 lines 12-15);
+* the color bounds of MaxUC+ (basic only vs +I vs +II vs all, Section V);
+* the truncated DP of Algorithm 1 vs the untruncated survival DP.
+"""
+
+import pytest
+
+from repro.core.enumeration import maximal_cliques
+from repro.core.maximum import max_uc_plus
+from repro.core.tau_degree import survival_dp, tau_degree_from_survival
+from repro.deterministic.core_decomposition import core_numbers
+
+from .conftest import DEFAULT_K, DEFAULT_TAU, dataset, once
+
+DATASET = "dblp_like"
+
+
+# ----------------------------------------------------------------------
+# Ablation 1: cut-based optimization
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("cut", (True, False))
+def test_ablation_cut(benchmark, cut):
+    graph = dataset(DATASET)
+    count = once(
+        benchmark,
+        lambda: sum(
+            1
+            for _ in maximal_cliques(
+                graph, DEFAULT_K, DEFAULT_TAU, pruning="topk", cut=cut
+            )
+        ),
+    )
+    benchmark.extra_info.update(cliques=count, cut=cut)
+
+
+def test_ablation_cut_same_output():
+    graph = dataset(DATASET)
+    with_cut = set(
+        maximal_cliques(graph, DEFAULT_K, DEFAULT_TAU, cut=True)
+    )
+    without_cut = set(
+        maximal_cliques(graph, DEFAULT_K, DEFAULT_TAU, cut=False)
+    )
+    assert with_cut == without_cut
+
+
+# ----------------------------------------------------------------------
+# Ablation 2: in-search TopKCore pruning
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("insearch", (True, False))
+def test_ablation_insearch(benchmark, insearch):
+    graph = dataset("cahepth_like")
+    count = once(
+        benchmark,
+        lambda: sum(
+            1
+            for _ in maximal_cliques(
+                graph, DEFAULT_K, DEFAULT_TAU, insearch=insearch
+            )
+        ),
+    )
+    benchmark.extra_info.update(cliques=count, insearch=insearch)
+
+
+def test_ablation_insearch_same_output():
+    graph = dataset("cahepth_like")
+    with_peel = set(
+        maximal_cliques(graph, DEFAULT_K, DEFAULT_TAU, insearch=True)
+    )
+    without_peel = set(
+        maximal_cliques(graph, DEFAULT_K, DEFAULT_TAU, insearch=False)
+    )
+    assert with_peel == without_peel
+
+
+# ----------------------------------------------------------------------
+# Ablation 3: the color bounds of MaxUC+
+# ----------------------------------------------------------------------
+
+_BOUND_CONFIGS = {
+    "basic_only": dict(use_advanced_one=False, use_advanced_two=False),
+    "basic_plus_one": dict(use_advanced_one=True, use_advanced_two=False),
+    "basic_plus_two": dict(use_advanced_one=False, use_advanced_two=True),
+    "all_bounds": dict(use_advanced_one=True, use_advanced_two=True),
+}
+
+
+@pytest.mark.parametrize("config", sorted(_BOUND_CONFIGS))
+def test_ablation_bounds(benchmark, config):
+    graph = dataset(DATASET)
+    best = once(
+        benchmark,
+        max_uc_plus,
+        graph,
+        DEFAULT_K,
+        DEFAULT_TAU,
+        **_BOUND_CONFIGS[config],
+    )
+    benchmark.extra_info.update(max_size=len(best) if best else 0)
+
+
+def test_ablation_bounds_same_answer():
+    graph = dataset(DATASET)
+    sizes = {
+        name: len(
+            max_uc_plus(graph, DEFAULT_K, DEFAULT_TAU, **kwargs) or ()
+        )
+        for name, kwargs in _BOUND_CONFIGS.items()
+    }
+    assert len(set(sizes.values())) == 1, sizes
+
+
+# ----------------------------------------------------------------------
+# Ablation 4: the core-number truncation of Algorithm 1
+# ----------------------------------------------------------------------
+
+def _all_truncated_tau_degrees(graph, cap_by_core):
+    cores = core_numbers(graph)
+    degrees = {}
+    for u in graph:
+        probs = list(graph.incident(u).values())
+        cap = cores[u] if cap_by_core else len(probs)
+        row = survival_dp(probs, cap)
+        degrees[u] = tau_degree_from_survival(row, DEFAULT_TAU)
+    return degrees
+
+
+@pytest.mark.parametrize("truncated", (True, False))
+def test_ablation_dp_truncation(benchmark, truncated):
+    """The DP truncation of Algorithm 1: cap at c_u vs no cap."""
+    graph = dataset("wikitalk_like")
+    degrees = once(benchmark, _all_truncated_tau_degrees, graph, truncated)
+    benchmark.extra_info.update(truncated=truncated, nodes=len(degrees))
+
+
+def test_ablation_dp_truncation_equivalent_for_cores():
+    """Both variants induce the same (k, tau)-core decision per node."""
+    graph = dataset("wikitalk_like")
+    capped = _all_truncated_tau_degrees(graph, True)
+    uncapped = _all_truncated_tau_degrees(graph, False)
+    cores = core_numbers(graph)
+    for u in graph:
+        assert capped[u] == min(cores[u], uncapped[u])
+
+
+# ----------------------------------------------------------------------
+# Ablation 5: the in-search peel gate (_INSEARCH_MIN_CANDIDATES)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("threshold", (1, 24, 10**9))
+def test_ablation_insearch_gate(benchmark, threshold, monkeypatch):
+    """Sweep the candidate-set-size gate of the in-search peel:
+    1 = peel at every node (the paper's bare |R| < k condition),
+    24 = the library default, huge = never peel."""
+    import repro.core.enumeration as enumeration
+
+    monkeypatch.setattr(
+        enumeration, "_INSEARCH_MIN_CANDIDATES", threshold
+    )
+    graph = dataset("cahepth_like")
+    count = once(
+        benchmark,
+        lambda: sum(
+            1 for _ in maximal_cliques(graph, DEFAULT_K, DEFAULT_TAU)
+        ),
+    )
+    benchmark.extra_info.update(cliques=count, gate=threshold)
+
+
+def test_ablation_insearch_gate_output_invariant(monkeypatch):
+    import repro.core.enumeration as enumeration
+
+    graph = dataset("cahepth_like")
+    results = []
+    for threshold in (1, 24, 10**9):
+        monkeypatch.setattr(
+            enumeration, "_INSEARCH_MIN_CANDIDATES", threshold
+        )
+        results.append(
+            set(maximal_cliques(graph, DEFAULT_K, DEFAULT_TAU))
+        )
+    assert results[0] == results[1] == results[2]

@@ -1,0 +1,145 @@
+"""Benchmarks for the extension layer (beyond the paper's figures).
+
+Measures the extensions against their natural alternatives:
+
+* top-r search vs full enumeration;
+* incremental core maintenance vs batch recomputation;
+* sampling-based approximate enumeration vs exact MUCE++;
+* anchored containment queries vs filtering a full enumeration.
+"""
+
+import pytest
+
+from repro.core.approximate import approximate_maximal_cliques
+from repro.core.enumeration import muce_plus_plus
+from repro.core.ktau_core import dp_core_plus
+from repro.core.maintenance import KTauCoreMaintainer
+from repro.core.queries import cliques_containing
+from repro.core.topr import top_r_maximal_cliques
+
+from .conftest import DEFAULT_K, DEFAULT_TAU, dataset, once
+
+DATASET = "wikitalk_like"
+
+
+def test_extension_top_r(benchmark):
+    graph = dataset(DATASET)
+    result = once(
+        benchmark, top_r_maximal_cliques, graph, 5, DEFAULT_K, DEFAULT_TAU
+    )
+    benchmark.extra_info.update(
+        returned=len(result),
+        largest=len(result[0]) if result else 0,
+    )
+
+
+def test_extension_full_enumeration_reference(benchmark):
+    graph = dataset(DATASET)
+    count = once(
+        benchmark,
+        lambda: sum(1 for _ in muce_plus_plus(graph, DEFAULT_K, DEFAULT_TAU)),
+    )
+    benchmark.extra_info.update(cliques=count)
+
+
+def test_extension_maintenance_incremental(benchmark):
+    graph = dataset(DATASET)
+    maintainer = KTauCoreMaintainer(graph, DEFAULT_K, DEFAULT_TAU)
+    edges = sorted(graph.edges(), key=lambda e: (str(e[0]), str(e[1])))
+    updates = edges[:20]
+
+    def run():
+        for u, v, p in updates:
+            maintainer.set_probability(u, v, min(1.0, p * 1.2))
+        return maintainer.core
+
+    core = once(benchmark, run)
+    benchmark.extra_info.update(core_size=len(core))
+
+
+def test_extension_maintenance_batch_reference(benchmark):
+    graph = dataset(DATASET)
+    work = graph.copy()
+    edges = sorted(graph.edges(), key=lambda e: (str(e[0]), str(e[1])))
+    updates = edges[:20]
+
+    def run():
+        core = None
+        for u, v, p in updates:
+            work.set_probability(u, v, min(1.0, p * 1.2))
+            core = dp_core_plus(work, DEFAULT_K, DEFAULT_TAU)
+        return core
+
+    core = once(benchmark, run)
+    benchmark.extra_info.update(core_size=len(core) if core else 0)
+
+
+def test_extension_maintenance_agrees_with_batch():
+    graph = dataset(DATASET)
+    maintainer = KTauCoreMaintainer(graph, DEFAULT_K, DEFAULT_TAU)
+    edges = sorted(graph.edges(), key=lambda e: (str(e[0]), str(e[1])))
+    for u, v, p in edges[:20]:
+        maintainer.set_probability(u, v, min(1.0, p * 1.2))
+    assert maintainer.core == frozenset(
+        dp_core_plus(maintainer.graph, DEFAULT_K, DEFAULT_TAU)
+    )
+
+
+@pytest.mark.parametrize("samples", (10, 40))
+def test_extension_approximate(benchmark, samples):
+    graph = dataset("askubuntu_like")
+    found = once(
+        benchmark,
+        approximate_maximal_cliques,
+        graph,
+        DEFAULT_K,
+        DEFAULT_TAU,
+        samples=samples,
+        seed=0,
+    )
+    exact = set(muce_plus_plus(graph, DEFAULT_K, DEFAULT_TAU))
+    assert found <= exact
+    recall = len(found) / len(exact) if exact else 1.0
+    benchmark.extra_info.update(
+        recall=round(recall, 4), found=len(found), exact=len(exact)
+    )
+
+
+def test_extension_anchored_query(benchmark):
+    graph = dataset(DATASET)
+    some_clique = next(muce_plus_plus(graph, DEFAULT_K, DEFAULT_TAU), None)
+    if some_clique is None:
+        pytest.skip("no cliques at benchmark scale")
+    anchor = sorted(some_clique, key=str)[0]
+    result = once(
+        benchmark,
+        lambda: list(
+            cliques_containing(graph, anchor, DEFAULT_K, DEFAULT_TAU)
+        ),
+    )
+    benchmark.extra_info.update(memberships=len(result))
+
+
+def test_extension_truss_pruning_power(benchmark):
+    """The truss-based pruning rule vs the paper's rules: remaining
+    nodes after each of the three sound prunes on the same graph."""
+    from repro.core.ktau_core import dp_core_plus
+    from repro.core.topk_core import topk_core
+    from repro.core.truss import truss_prune_for_cliques
+
+    graph = dataset("dblp_like")
+    truss_nodes = once(
+        benchmark, truss_prune_for_cliques, graph, DEFAULT_K, DEFAULT_TAU
+    )
+    topk_nodes = topk_core(graph, DEFAULT_K, DEFAULT_TAU).nodes
+    ktau_nodes = dp_core_plus(graph, DEFAULT_K, DEFAULT_TAU)
+    benchmark.extra_info.update(
+        truss_nodes=len(truss_nodes),
+        topk_nodes=len(topk_nodes),
+        ktau_nodes=len(ktau_nodes),
+    )
+    # All three rules are sound, so combining them is too; record the
+    # intersection as the practical upper bound on pruning power.
+    benchmark.extra_info.update(
+        combined=len(set(truss_nodes) & set(topk_nodes))
+    )

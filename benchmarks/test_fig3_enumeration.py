@@ -1,0 +1,61 @@
+"""Fig. 3 / Exp-2: MUCE vs MUCE+ vs MUCE++ enumeration runtime.
+
+The paper's result: MUCE+ consistently beats MUCE, MUCE++ beats MUCE+, and
+the gaps widen with graph size; runtimes fall as k or tau grows.
+"""
+
+import pytest
+
+from repro.core.enumeration import muce, muce_plus, muce_plus_plus
+
+from .conftest import DEFAULT_K, DEFAULT_TAU, dataset, once
+
+DATASETS = (
+    "askubuntu_like",
+    "superuser_like",
+    "cahepth_like",
+    "wikitalk_like",
+    "dblp_like",
+)
+ALGORITHMS = {"MUCE": muce, "MUCE+": muce_plus, "MUCE++": muce_plus_plus}
+
+
+def _count(fn, graph, k, tau):
+    return sum(1 for _ in fn(graph, k, tau))
+
+
+@pytest.mark.parametrize("name", DATASETS)
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_fig3_default_point(benchmark, name, algorithm):
+    """All ten panels at the default point (k=10, tau=0.1)."""
+    graph = dataset(name)
+    count = once(
+        benchmark, _count, ALGORITHMS[algorithm], graph,
+        DEFAULT_K, DEFAULT_TAU,
+    )
+    benchmark.extra_info.update(cliques=count)
+
+
+@pytest.mark.parametrize("k", (6, 14))
+def test_fig3_vary_k(benchmark, k):
+    """The k sweep (fast algorithm, largest dataset)."""
+    graph = dataset("dblp_like")
+    count = once(benchmark, _count, muce_plus_plus, graph, k, DEFAULT_TAU)
+    benchmark.extra_info.update(cliques=count)
+
+
+@pytest.mark.parametrize("tau", (0.01, 0.05))
+def test_fig3_vary_tau(benchmark, tau):
+    """The tau sweep (fast algorithm, largest dataset)."""
+    graph = dataset("dblp_like")
+    count = once(benchmark, _count, muce_plus_plus, graph, DEFAULT_K, tau)
+    benchmark.extra_info.update(cliques=count)
+
+
+@pytest.mark.parametrize("name", ("askubuntu_like", "dblp_like"))
+def test_fig3_agreement(name):
+    """All three enumerators must produce the same clique set."""
+    graph = dataset(name)
+    expected = set(muce(graph, DEFAULT_K, DEFAULT_TAU))
+    assert set(muce_plus(graph, DEFAULT_K, DEFAULT_TAU)) == expected
+    assert set(muce_plus_plus(graph, DEFAULT_K, DEFAULT_TAU)) == expected

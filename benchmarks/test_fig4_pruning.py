@@ -1,0 +1,54 @@
+"""Fig. 4 / Exp-3: pruning power and cost of the two core rules.
+
+The paper's result: the (Top_k, tau)-core retains far fewer nodes than the
+(k, tau)-core (Corollary 1 guarantees it never retains more), and both
+prunes run in near-linear time.
+"""
+
+import pytest
+
+from repro.core.ktau_core import dp_core_plus
+from repro.core.topk_core import topk_core
+
+from .conftest import DEFAULT_K, DEFAULT_TAU, dataset, once
+
+GRID_K = (6, 10, 14)
+GRID_TAU = (0.01, 0.05, 0.1)
+
+
+@pytest.mark.parametrize("k", GRID_K)
+def test_fig4_ktau_core_vary_k(benchmark, k):
+    graph = dataset("dblp_like")
+    core = once(benchmark, dp_core_plus, graph, k, DEFAULT_TAU)
+    benchmark.extra_info.update(remaining_nodes=len(core))
+
+
+@pytest.mark.parametrize("k", GRID_K)
+def test_fig4_topk_core_vary_k(benchmark, k):
+    graph = dataset("dblp_like")
+    result = once(benchmark, topk_core, graph, k, DEFAULT_TAU)
+    benchmark.extra_info.update(remaining_nodes=len(result.nodes))
+
+
+@pytest.mark.parametrize("tau", GRID_TAU)
+def test_fig4_ktau_core_vary_tau(benchmark, tau):
+    graph = dataset("dblp_like")
+    core = once(benchmark, dp_core_plus, graph, DEFAULT_K, tau)
+    benchmark.extra_info.update(remaining_nodes=len(core))
+
+
+@pytest.mark.parametrize("tau", GRID_TAU)
+def test_fig4_topk_core_vary_tau(benchmark, tau):
+    graph = dataset("dblp_like")
+    result = once(benchmark, topk_core, graph, DEFAULT_K, tau)
+    benchmark.extra_info.update(remaining_nodes=len(result.nodes))
+
+
+@pytest.mark.parametrize("k", GRID_K)
+@pytest.mark.parametrize("tau", GRID_TAU)
+def test_fig4_pruning_dominance(k, tau):
+    """Corollary 1 at every grid point."""
+    graph = dataset("dblp_like")
+    topk = set(topk_core(graph, k, tau).nodes)
+    ktau = dp_core_plus(graph, k, tau)
+    assert topk <= ktau

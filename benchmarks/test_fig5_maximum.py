@@ -1,0 +1,55 @@
+"""Fig. 5 / Exp-4: MaxUC vs MaxRDS vs MaxUC+ runtime.
+
+The paper's result: MaxUC+ dominates both baselines (up to two orders of
+magnitude on large graphs), and all three agree on the maximum size.
+"""
+
+import pytest
+
+from repro.core.maximum import max_rds, max_uc, max_uc_plus
+
+from .conftest import DEFAULT_K, DEFAULT_TAU, dataset, once
+
+DATASETS = (
+    "askubuntu_like",
+    "superuser_like",
+    "cahepth_like",
+    "wikitalk_like",
+    "dblp_like",
+)
+ALGORITHMS = {"MaxUC": max_uc, "MaxRDS": max_rds, "MaxUC+": max_uc_plus}
+
+
+@pytest.mark.parametrize("name", DATASETS)
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_fig5_default_point(benchmark, name, algorithm):
+    graph = dataset(name)
+    best = once(
+        benchmark, ALGORITHMS[algorithm], graph, DEFAULT_K, DEFAULT_TAU
+    )
+    benchmark.extra_info.update(max_size=len(best) if best else 0)
+
+
+@pytest.mark.parametrize("k", (6, 14))
+def test_fig5_vary_k(benchmark, k):
+    graph = dataset("dblp_like")
+    best = once(benchmark, max_uc_plus, graph, k, DEFAULT_TAU)
+    benchmark.extra_info.update(max_size=len(best) if best else 0)
+
+
+@pytest.mark.parametrize("tau", (0.01, 0.05))
+def test_fig5_vary_tau(benchmark, tau):
+    graph = dataset("dblp_like")
+    best = once(benchmark, max_uc_plus, graph, DEFAULT_K, tau)
+    benchmark.extra_info.update(max_size=len(best) if best else 0)
+
+
+@pytest.mark.parametrize("name", ("wikitalk_like", "dblp_like"))
+def test_fig5_agreement(name):
+    """All three algorithms must find the same maximum size."""
+    graph = dataset(name)
+    sizes = {
+        label: len(fn(graph, DEFAULT_K, DEFAULT_TAU) or ())
+        for label, fn in ALGORITHMS.items()
+    }
+    assert len(set(sizes.values())) == 1, sizes

@@ -1,0 +1,67 @@
+"""Fig. 6 / Exp-5: scalability on node/edge samples of WikiTalk.
+
+The paper's result: the improved algorithms (DPCore+, MUCE++, MaxUC+)
+grow smoothly with sample size while the baselines grow sharply.
+"""
+
+import pytest
+
+from repro.core.enumeration import muce_plus_plus
+from repro.core.ktau_core import dp_core, dp_core_plus
+from repro.core.maximum import max_uc_plus
+from repro.experiments.exp_scalability import sample_edges, sample_nodes
+
+from .conftest import DEFAULT_K, DEFAULT_TAU, dataset, once
+
+FRACTIONS = (0.2, 0.6, 1.0)
+
+_samples: dict = {}
+
+
+def _sample(kind, fraction):
+    key = (kind, fraction)
+    if key not in _samples:
+        graph = dataset("wikitalk_like")
+        if fraction >= 1.0:
+            _samples[key] = graph
+        elif kind == "nodes":
+            _samples[key] = sample_nodes(graph, fraction, seed=0)
+        else:
+            _samples[key] = sample_edges(graph, fraction, seed=0)
+    return _samples[key]
+
+
+@pytest.mark.parametrize("kind", ("nodes", "edges"))
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_fig6_dpcore_plus(benchmark, kind, fraction):
+    """Panels (a)-(b), fast core algorithm."""
+    sub = _sample(kind, fraction)
+    once(benchmark, dp_core_plus, sub, DEFAULT_K, DEFAULT_TAU)
+
+
+@pytest.mark.parametrize("fraction", (0.2, 1.0))
+def test_fig6_dpcore_baseline(benchmark, fraction):
+    """Panels (a)-(b), baseline core algorithm (two endpoints only)."""
+    sub = _sample("nodes", fraction)
+    once(benchmark, dp_core, sub, DEFAULT_K, DEFAULT_TAU)
+
+
+@pytest.mark.parametrize("kind", ("nodes", "edges"))
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_fig6_muce_plus_plus(benchmark, kind, fraction):
+    """Panels (c)-(d), fast enumerator."""
+    sub = _sample(kind, fraction)
+    count = once(
+        benchmark,
+        lambda: sum(1 for _ in muce_plus_plus(sub, DEFAULT_K, DEFAULT_TAU)),
+    )
+    benchmark.extra_info.update(cliques=count)
+
+
+@pytest.mark.parametrize("kind", ("nodes", "edges"))
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_fig6_max_uc_plus(benchmark, kind, fraction):
+    """Panels (e)-(f), fast maximum search."""
+    sub = _sample(kind, fraction)
+    best = once(benchmark, max_uc_plus, sub, DEFAULT_K, DEFAULT_TAU)
+    benchmark.extra_info.update(max_size=len(best) if best else 0)

@@ -1,0 +1,55 @@
+"""Fig. 7 / Exp-6: memory overhead of the search algorithms.
+
+The paper's result: every depth-first search uses memory linear in the
+graph size (between 1x and 2x the graph footprint in their C++).  We
+measure Python heap peaks with tracemalloc; the reproduced claim is that
+the ratio stays small and flat across datasets.
+"""
+
+import pytest
+
+from repro.core.enumeration import muce_plus_plus
+from repro.core.maximum import max_uc_plus
+from repro.experiments.exp_memory import (
+    graph_footprint,
+    measure_peak_allocation,
+)
+
+from .conftest import DEFAULT_K, DEFAULT_TAU, dataset, once
+
+DATASETS = ("askubuntu_like", "wikitalk_like", "dblp_like")
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_fig7_enumeration_memory(benchmark, name):
+    graph = dataset(name)
+    footprint = graph_footprint(graph)
+
+    def measure():
+        return measure_peak_allocation(
+            lambda: sum(
+                1 for _ in muce_plus_plus(graph, DEFAULT_K, DEFAULT_TAU)
+            )
+        )
+
+    peak = once(benchmark, measure)
+    ratio = peak / footprint
+    benchmark.extra_info.update(graph_bytes=footprint, ratio=ratio)
+    # Linear-space claim: a small constant times the graph footprint.
+    assert ratio < 8.0
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_fig7_maximum_memory(benchmark, name):
+    graph = dataset(name)
+    footprint = graph_footprint(graph)
+
+    def measure():
+        return measure_peak_allocation(
+            lambda: max_uc_plus(graph, DEFAULT_K, DEFAULT_TAU)
+        )
+
+    peak = once(benchmark, measure)
+    ratio = peak / footprint
+    benchmark.extra_info.update(graph_bytes=footprint, ratio=ratio)
+    assert ratio < 8.0

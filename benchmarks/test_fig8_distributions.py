@@ -1,0 +1,75 @@
+"""Fig. 8 / Exp-7: effect of the edge-probability distribution.
+
+The paper's results: larger lambda -> smaller cores and faster runs;
+uniform probabilities ("DBLP-U") prune differently from exponential ones
+("DBLP-E") on identical weighted structure.
+"""
+
+import pytest
+
+from repro.core.enumeration import muce_plus_plus
+from repro.core.ktau_core import dp_core_plus
+from repro.core.maximum import max_uc_plus
+from repro.core.topk_core import topk_core
+
+from .conftest import DEFAULT_K, DEFAULT_TAU, dataset, once
+
+LAMBDAS = (2.0, 4.0, 6.0)
+
+
+@pytest.mark.parametrize("lam", LAMBDAS)
+def test_fig8_topk_core_lambda(benchmark, lam):
+    """Panel (a): TopKCore pruning as lambda grows."""
+    graph = dataset("dblp_like", lam=lam)
+    result = once(benchmark, topk_core, graph, DEFAULT_K, DEFAULT_TAU)
+    benchmark.extra_info.update(remaining_nodes=len(result.nodes))
+
+
+@pytest.mark.parametrize("lam", LAMBDAS)
+def test_fig8_dpcore_plus_lambda(benchmark, lam):
+    """Panel (a): (k, tau)-core pruning as lambda grows."""
+    graph = dataset("dblp_like", lam=lam)
+    core = once(benchmark, dp_core_plus, graph, DEFAULT_K, DEFAULT_TAU)
+    benchmark.extra_info.update(remaining_nodes=len(core))
+
+
+@pytest.mark.parametrize("lam", (2.0, 6.0))
+def test_fig8_enumeration_lambda(benchmark, lam):
+    """Panel (c): MUCE++ runtime as lambda grows."""
+    graph = dataset("dblp_like", lam=lam)
+    count = once(
+        benchmark,
+        lambda: sum(1 for _ in muce_plus_plus(graph, DEFAULT_K, DEFAULT_TAU)),
+    )
+    benchmark.extra_info.update(cliques=count)
+
+
+@pytest.mark.parametrize("distribution", ("exponential", "uniform"))
+def test_fig8_enumeration_distribution(benchmark, distribution):
+    """Panel (d): DBLP-E vs DBLP-U."""
+    graph = dataset("dblp_like", distribution=distribution)
+    count = once(
+        benchmark,
+        lambda: sum(1 for _ in muce_plus_plus(graph, DEFAULT_K, DEFAULT_TAU)),
+    )
+    benchmark.extra_info.update(cliques=count)
+
+
+@pytest.mark.parametrize("distribution", ("exponential", "uniform"))
+def test_fig8_maximum_distribution(benchmark, distribution):
+    """Panel (f): MaxUC+ on DBLP-E vs DBLP-U."""
+    graph = dataset("dblp_like", distribution=distribution)
+    best = once(benchmark, max_uc_plus, graph, DEFAULT_K, DEFAULT_TAU)
+    benchmark.extra_info.update(max_size=len(best) if best else 0)
+
+
+def test_fig8_lambda_shrinks_cores():
+    """Higher lambda lowers probabilities and so shrinks both cores."""
+    small = dataset("dblp_like", lam=6.0)
+    large = dataset("dblp_like", lam=2.0)
+    assert len(topk_core(small, DEFAULT_K, DEFAULT_TAU).nodes) <= len(
+        topk_core(large, DEFAULT_K, DEFAULT_TAU).nodes
+    )
+    assert len(dp_core_plus(small, DEFAULT_K, DEFAULT_TAU)) <= len(
+        dp_core_plus(large, DEFAULT_K, DEFAULT_TAU)
+    )

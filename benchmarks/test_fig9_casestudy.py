@@ -1,0 +1,46 @@
+"""Fig. 9: case-study precision of MUCE++ as k and tau vary.
+
+The paper's result: precision is robust (high and flat) across both
+parameters.
+"""
+
+import pytest
+
+from repro.casestudy import detect_complexes_muce, score_predicted_complexes
+
+from .conftest import once, ppi
+
+K_VALUES = (4, 5, 6)
+TAU_VALUES = (0.01, 0.05, 0.1)
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+def test_fig9_vary_k(benchmark, k):
+    network = ppi()
+    predicted = once(benchmark, detect_complexes_muce, network.graph, k, 0.1)
+    score = score_predicted_complexes(predicted, list(network.complexes))
+    benchmark.extra_info.update(precision=round(score.precision, 4))
+
+
+@pytest.mark.parametrize("tau", TAU_VALUES)
+def test_fig9_vary_tau(benchmark, tau):
+    network = ppi()
+    predicted = once(benchmark, detect_complexes_muce, network.graph, 5, tau)
+    score = score_predicted_complexes(predicted, list(network.complexes))
+    benchmark.extra_info.update(precision=round(score.precision, 4))
+
+
+def test_fig9_precision_robust():
+    """Precision stays high across the whole grid (paper: ~0.88 flat)."""
+    network = ppi()
+    truth = list(network.complexes)
+    for k in K_VALUES:
+        score = score_predicted_complexes(
+            detect_complexes_muce(network.graph, k, 0.1), truth
+        )
+        assert score.precision > 0.7
+    for tau in TAU_VALUES:
+        score = score_predicted_complexes(
+            detect_complexes_muce(network.graph, 5, tau), truth
+        )
+        assert score.precision > 0.7

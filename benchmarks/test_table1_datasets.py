@@ -1,0 +1,24 @@
+"""Table I: dataset statistics of every registry dataset.
+
+The benchmark times the statistics computation (dominated by the core
+decomposition); the regenerated Table I row is attached as extra_info.
+"""
+
+import pytest
+
+from repro.datasets import DATASETS, dataset_statistics
+
+from .conftest import dataset, once
+
+
+@pytest.mark.parametrize("name", sorted(DATASETS))
+def test_table1_row(benchmark, name):
+    graph = dataset(name)
+    stats = once(benchmark, dataset_statistics, graph, name)
+    benchmark.extra_info.update(
+        n=stats.num_nodes,
+        m=stats.num_edges,
+        d_max=stats.max_degree,
+        degeneracy=stats.degeneracy,
+    )
+    assert stats.max_degree >= stats.degeneracy

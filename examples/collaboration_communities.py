@@ -1,0 +1,88 @@
+"""Find tightly-knit research groups in an uncertain co-authorship network.
+
+Run with::
+
+    python examples/collaboration_communities.py
+
+This is the workload the paper's introduction motivates: the DBLP-style
+network weights every co-authorship edge by the number of joint papers and
+converts it to an existence probability with ``p = 1 - exp(-w / 2)``.
+Maximal (k, tau)-cliques are then *reliable* research groups — sets of
+authors who all collaborated with one another, with high joint confidence.
+
+The example also shows the pruning funnel the paper's Section III builds:
+graph -> (k, tau)-core -> (Top_k, tau)-core -> cut-optimized components.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro import (
+    EnumerationStats,
+    clique_probability,
+    cut_optimize,
+    dp_core_plus,
+    muce_plus_plus,
+    topk_core,
+)
+from repro.datasets import collaboration_network
+
+
+def main() -> None:
+    k, tau = 8, 0.1
+    graph = collaboration_network(
+        n_authors=1200,
+        hot_teams=15,
+        casual_teams=3600,
+        seed=42,
+    )
+    print(
+        f"co-authorship network: {graph.num_nodes} authors, "
+        f"{graph.num_edges} weighted collaborations"
+    )
+
+    # --- the pruning funnel -------------------------------------------
+    core = dp_core_plus(graph, k, tau)
+    print(f"(k, tau)-core keeps {len(core)} authors")
+
+    survivors = topk_core(graph, k, tau).nodes
+    print(f"(Top_k, tau)-core keeps {len(survivors)} authors")
+
+    pruned = graph.induced_subgraph(survivors)
+    cut = cut_optimize(pruned, k, tau)
+    sizes = sorted(
+        (c.num_nodes for c in cut.components), reverse=True
+    )
+    print(
+        f"cut optimization removed {cut.edges_removed} bridge edges, "
+        f"leaving components of sizes {sizes[:8]}..."
+    )
+
+    # --- enumerate the research groups --------------------------------
+    stats = EnumerationStats()
+    groups = list(muce_plus_plus(graph, k, tau, stats=stats))
+    print(
+        f"\nfound {len(groups)} maximal ({k}, {tau})-cliques "
+        f"in {stats.search_calls} search calls"
+    )
+
+    histogram = Counter(len(g) for g in groups)
+    print("group-size histogram:", dict(sorted(histogram.items())))
+
+    print("\nthree most reliable groups:")
+    by_reliability = sorted(
+        groups,
+        key=lambda g: clique_probability(graph, g),
+        reverse=True,
+    )
+    for group in by_reliability[:3]:
+        prob = clique_probability(graph, group)
+        print(
+            f"  {len(group)} authors, CPr = {prob:.3f}: "
+            f"{sorted(group)[:6]}..."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Tour of maximum (k, tau)-clique search and its upper bounds.
+
+Run with::
+
+    python examples/maximum_clique_tour.py
+
+Generates a communication network (the AskUbuntu-style workload of the
+paper), then:
+
+1. finds one maximum (k, tau)-clique with all three algorithms and checks
+   they agree on the size;
+2. shows the pruning statistics — how often each color-based upper bound
+   of Section V closed a search branch;
+3. sweeps tau to show how the maximum clique size responds to the
+   reliability requirement.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import (
+    MaximumSearchStats,
+    clique_probability,
+    max_rds,
+    max_uc,
+    max_uc_plus,
+)
+from repro.datasets import communication_network
+
+
+def main() -> None:
+    graph = communication_network(
+        n_users=1200,
+        threads=3600,
+        groups=12,
+        seed=99,
+    )
+    k, tau = 8, 0.05
+    print(
+        f"communication network: {graph.num_nodes} users, "
+        f"{graph.num_edges} edges; searching k={k}, tau={tau}"
+    )
+
+    print("\nalgorithm comparison:")
+    sizes = {}
+    for name, algorithm in (
+        ("MaxUC+", max_uc_plus),
+        ("MaxRDS", max_rds),
+        ("MaxUC", max_uc),
+    ):
+        start = time.perf_counter()
+        clique = algorithm(graph, k, tau)
+        elapsed = time.perf_counter() - start
+        sizes[name] = len(clique) if clique else 0
+        print(f"  {name:8s} size={sizes[name]:2d}  {elapsed:7.3f}s")
+    assert len(set(sizes.values())) == 1, "algorithms disagree!"
+
+    stats = MaximumSearchStats()
+    clique = max_uc_plus(graph, k, tau, stats=stats)
+    assert clique is not None
+    print(
+        f"\nMaxUC+ search detail: {stats.search_calls} calls; prunes by "
+        f"basic color bound {stats.basic_color_prunes}, advanced bound I "
+        f"{stats.advanced_one_prunes}, advanced bound II "
+        f"{stats.advanced_two_prunes}, candidate-size "
+        f"{stats.size_bound_prunes}"
+    )
+    print(
+        f"winner: {len(clique)} nodes, "
+        f"CPr = {clique_probability(graph, clique):.4f}"
+    )
+
+    print("\nmaximum clique size as tau varies:")
+    for tau_value in (0.01, 0.05, 0.1, 0.3, 0.6, 0.9):
+        best = max_uc_plus(graph, k, tau_value)
+        size = len(best) if best else 0
+        print(f"  tau={tau_value:<5g} -> size {size}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Detect protein complexes in an uncertain PPI network (Section VI-C).
+
+Run with::
+
+    python examples/ppi_complex_detection.py
+
+Reproduces the paper's case study at example scale: generate a synthetic
+Krogan-CORE-like PPI network with planted ground-truth complexes, predict
+complexes three ways (maximal (k, tau)-cliques via MUCE++, USCAN-like
+structural clustering, PCluster-like pivot clustering), and compare their
+TP / FP / precision exactly as the paper's Table II does.
+"""
+
+from __future__ import annotations
+
+from repro.casestudy import (
+    detect_complexes_muce,
+    pcluster_clusters,
+    score_predicted_complexes,
+    uscan_clusters,
+)
+from repro.datasets import ppi_network
+
+
+def main() -> None:
+    network = ppi_network(
+        n_proteins=500,
+        n_complexes=20,
+        background_interactions=800,
+        seed=7,
+    )
+    graph = network.graph
+    truth = list(network.complexes)
+    print(
+        f"PPI network: {graph.num_nodes} proteins, "
+        f"{graph.num_edges} scored interactions, "
+        f"{len(truth)} ground-truth complexes"
+    )
+
+    k, tau = 6, 0.1
+    predictions = {
+        "MUCE++": detect_complexes_muce(graph, k=k, tau=tau),
+        "USCAN": uscan_clusters(graph),
+        "PCluster": pcluster_clusters(graph, seed=7),
+    }
+
+    print(f"\n{'method':10s} {'complexes':>9s} {'TP':>6s} {'FP':>6s} "
+          f"{'precision':>9s}")
+    for method, predicted in predictions.items():
+        score = score_predicted_complexes(predicted, truth, method=method)
+        print(
+            f"{method:10s} {score.predicted_complexes:9d} "
+            f"{score.true_positives:6d} {score.false_positives:6d} "
+            f"{score.precision:9.3f}"
+        )
+
+    print(
+        "\nAs in the paper, the clique-based detector is far more precise:"
+        "\nclustering methods emit large loose clusters whose many internal"
+        "\npairs are not real complex interactions."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Protein-complex detection case study (Section VI-C).
+
+Detects protein complexes in an uncertain PPI network with the paper's
+MUCE++-based approach and compares it against two clustering baselines
+(USCAN-like structural clustering and PCluster-like probabilistic
+clustering) on the TP/FP/precision metrics the paper reports in Table II.
+"""
+
+from repro.casestudy.metrics import (
+    ComplexDetectionScore,
+    score_predicted_complexes,
+)
+from repro.casestudy.complexes import detect_complexes_muce
+from repro.casestudy.uscan import uscan_clusters
+from repro.casestudy.pcluster import pcluster_clusters
+
+__all__ = [
+    "ComplexDetectionScore",
+    "score_predicted_complexes",
+    "detect_complexes_muce",
+    "uscan_clusters",
+    "pcluster_clusters",
+]

@@ -1,0 +1,65 @@
+"""TP / FP / precision metrics for protein-complex detection (Table II).
+
+Following the paper (which follows Kollios et al. [32] and Qiu et al.
+[33]): a *predicted interaction* is a protein pair appearing together in a
+predicted complex; it is a true positive when the pair also co-occurs in
+some ground-truth complex.  ``precision = TP / (TP + FP)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["ComplexDetectionScore", "score_predicted_complexes"]
+
+
+@dataclass(frozen=True)
+class ComplexDetectionScore:
+    """One Table II row."""
+
+    method: str
+    true_positives: int
+    false_positives: int
+    predicted_complexes: int
+
+    @property
+    def precision(self) -> float:
+        """``TP / (TP + FP)``; 0.0 when nothing was predicted."""
+        total = self.true_positives + self.false_positives
+        if total == 0:
+            return 0.0
+        return self.true_positives / total
+
+
+def _pair_set(complexes: Iterable[frozenset]) -> set[frozenset]:
+    """All unordered within-complex protein pairs."""
+    pairs: set[frozenset] = set()
+    for complex_ in complexes:
+        members = sorted(complex_, key=repr)
+        for u, v in itertools.combinations(members, 2):
+            pairs.add(frozenset((u, v)))
+    return pairs
+
+
+def score_predicted_complexes(
+    predicted: Sequence[frozenset],
+    ground_truth: Sequence[frozenset],
+    method: str = "",
+) -> ComplexDetectionScore:
+    """Score predicted complexes against the ground-truth catalogue.
+
+    Interactions predicted by several complexes are counted once, matching
+    the set semantics of the reference evaluation.
+    """
+    predicted_pairs = _pair_set(predicted)
+    truth_pairs = _pair_set(ground_truth)
+    tp = len(predicted_pairs & truth_pairs)
+    fp = len(predicted_pairs) - tp
+    return ComplexDetectionScore(
+        method=method,
+        true_positives=tp,
+        false_positives=fp,
+        predicted_complexes=len(predicted),
+    )

@@ -1,0 +1,51 @@
+"""PCluster-like baseline: probabilistic pivot clustering.
+
+A re-implementation of the comparator the paper calls PCluster (Kollios et
+al. [32], "Clustering large probabilistic graphs").  Their pKwikCluster
+algorithm adapts KwikCluster to edge probabilities: repeatedly pick an
+unclustered pivot and absorb every unclustered neighbor whose edge
+probability exceeds 1/2 (the edit-distance argument: such pairs are more
+likely together than apart).
+
+Like the original, it is randomized; the seed makes runs reproducible.  It
+produces a partition into clusters, typically coarser than protein
+complexes — the source of its lower Table II precision.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.uncertain.graph import UncertainGraph
+
+__all__ = ["pcluster_clusters"]
+
+
+def pcluster_clusters(
+    graph: UncertainGraph,
+    threshold: float = 0.5,
+    min_size: int = 3,
+    seed: int | None = 0,
+) -> list[frozenset]:
+    """Partition the graph with pKwikCluster-style pivoting.
+
+    ``threshold`` is the absorb probability cutoff (1/2 in the original
+    analysis); clusters smaller than ``min_size`` are dropped from the
+    output, matching how the case study only scores non-trivial complexes.
+    """
+    rng = random.Random(seed)
+    order = graph.nodes()
+    rng.shuffle(order)
+    clustered: set = set()
+    clusters: list[frozenset] = []
+    for pivot in order:
+        if pivot in clustered:
+            continue
+        members = {pivot}
+        for v, p in graph.incident(pivot).items():
+            if v not in clustered and p > threshold:
+                members.add(v)
+        clustered.update(members)
+        if len(members) >= min_size:
+            clusters.append(frozenset(members))
+    return clusters

@@ -1,0 +1,113 @@
+"""USCAN-like baseline: structural clustering on an uncertain graph.
+
+A faithful simplified re-implementation of the comparator the paper calls
+USCAN (Qiu et al. [33], itself an uncertain-graph generalisation of SCAN).
+Structural similarity between adjacent nodes is evaluated in expectation
+over the edge probabilities; nodes with enough similar neighbors become
+*cores*, cores reaching each other through similar edges form clusters, and
+border nodes attach to a neighboring core's cluster.
+
+Being a clustering method it tends to emit larger, looser groups than
+maximal (k, tau)-cliques — which is exactly why its precision in Table II
+trails MUCE++.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.errors import ParameterError
+from repro.uncertain.graph import Node, UncertainGraph
+
+__all__ = ["uscan_clusters", "expected_structural_similarity"]
+
+
+def expected_structural_similarity(
+    graph: UncertainGraph, u: Node, v: Node
+) -> float:
+    """Expected structural (cosine) similarity of two adjacent nodes.
+
+    The deterministic SCAN similarity is
+    ``|N[u] & N[v]| / sqrt(|N[u]| |N[v]|)`` over closed neighborhoods; here
+    every membership is weighted by its edge probability, giving the
+    expected intersection size over the possible worlds divided by the
+    geometric mean of expected neighborhood sizes.
+    """
+    u_inc = graph.incident(u)
+    v_inc = graph.incident(v)
+    if v not in u_inc:
+        return 0.0
+    p_uv = u_inc[v]
+    # Closed neighborhoods: u and v always belong to their own.
+    common = 2.0 * p_uv  # u in N[v] (via the edge) and v in N[u]
+    for w, p_uw in u_inc.items():
+        if w == v:
+            continue
+        p_vw = v_inc.get(w)
+        if p_vw is not None:
+            common += p_uw * p_vw
+    size_u = 1.0 + sum(u_inc.values())
+    size_v = 1.0 + sum(v_inc.values())
+    return common / math.sqrt(size_u * size_v)
+
+
+def uscan_clusters(
+    graph: UncertainGraph,
+    epsilon: float = 0.5,
+    mu: int = 3,
+    min_size: int = 3,
+) -> list[frozenset]:
+    """Cluster the uncertain graph SCAN-style.
+
+    ``epsilon`` is the similarity threshold, ``mu`` the minimum number of
+    epsilon-similar neighbors (including the node itself) for a core, and
+    ``min_size`` filters out trivial clusters from the output.
+    """
+    if not 0.0 < epsilon <= 1.0:
+        raise ParameterError(f"epsilon must be in (0, 1], got {epsilon}")
+    if mu < 2:
+        raise ParameterError(f"mu must be at least 2, got {mu}")
+
+    # Epsilon-neighborhoods (self always included, as in SCAN).
+    eps_nbrs: dict[Node, set[Node]] = {}
+    similarity_cache: dict[frozenset, float] = {}
+    for u in graph:
+        similar = {u}
+        for v in graph.neighbors(u):
+            key = frozenset((u, v))
+            sim = similarity_cache.get(key)
+            if sim is None:
+                sim = expected_structural_similarity(graph, u, v)
+                similarity_cache[key] = sim
+            if sim >= epsilon:
+                similar.add(v)
+        eps_nbrs[u] = similar
+
+    cores = {u for u, similar in eps_nbrs.items() if len(similar) >= mu}
+
+    # Clusters: connected components of cores via epsilon-similar links,
+    # expanded by each core's epsilon-neighborhood (borders).
+    assigned: dict[Node, int] = {}
+    clusters: list[set[Node]] = []
+    for seed in cores:
+        if seed in assigned:
+            continue
+        cluster_id = len(clusters)
+        members: set[Node] = set()
+        queue = deque([seed])
+        assigned[seed] = cluster_id
+        while queue:
+            core = queue.popleft()
+            members.update(eps_nbrs[core])
+            for v in eps_nbrs[core]:
+                if v in cores and v not in assigned:
+                    assigned[v] = cluster_id
+                    queue.append(v)
+        clusters.append(members)
+
+    return [
+        frozenset(members)
+        for members in clusters
+        if len(members) >= min_size
+    ]

@@ -1,0 +1,141 @@
+"""Sampling-based approximate maximal (k, tau)-clique mining.
+
+A heuristic companion to the exact enumerators for graphs where even the
+pruned search is too slow: sample possible worlds, mine *deterministic*
+maximal cliques in each world with Bron-Kerbosch, pool the candidates,
+then check each candidate *exactly* (clique probability and maximality
+against the real uncertain graph).
+
+Guarantees: every returned set IS a genuine maximal (k, tau)-clique
+(candidates are verified exactly — no false positives).  Completeness is
+only statistical: a maximal (k, tau)-clique C appears as a clique in a
+sampled world with probability CPr(C) >= tau per sample, so with ``s``
+samples it is missed with probability at most ``(1 - tau)^s`` — e.g.
+tau = 0.1 and s = 100 gives a miss rate under 0.003 per clique.  (The
+candidate must also be *recovered* from the world's maximal cliques; the
+repair step below handles the common case where the sampled world merges
+it into a larger deterministic clique.)
+
+This is an extension beyond the paper (its Section VII cites sampling
+frameworks for uncertain graphs [25], [26]); the exact algorithms remain
+the reference.
+"""
+
+from __future__ import annotations
+
+import random
+from repro.deterministic.cliques import bron_kerbosch_degeneracy
+from repro.errors import ParameterError
+from repro.uncertain.clique_prob import (
+    clique_probability,
+    is_maximal_k_tau_clique,
+)
+from repro.uncertain.graph import Node, UncertainGraph
+from repro.utils.validation import prob_at_least, validate_k, validate_tau
+
+__all__ = ["approximate_maximal_cliques"]
+
+
+def _shrink_to_tau_clique(
+    graph: UncertainGraph,
+    members: list[Node],
+    k: int,
+    tau: float,
+) -> frozenset | None:
+    """Greedy repair: drop lowest-contribution nodes until CPr >= tau.
+
+    A deterministic clique mined from a sampled world may be *larger*
+    than any tau-clique (the world materialised lucky low-probability
+    edges).  Repeatedly removing the node with the smallest product of
+    probabilities to the rest recovers a high-probability sub-clique.
+    Returns None when the repair shrinks below k + 1 nodes.
+    """
+    current = list(members)
+    while len(current) > k:
+        prob = clique_probability(graph, current)
+        if prob_at_least(prob, tau):
+            return frozenset(current)
+        contribution = {}
+        for node in current:
+            incident = graph.incident(node)
+            pi = 1.0
+            for other in current:
+                if other != node:
+                    pi *= incident.get(other, 1.0)
+            contribution[node] = pi
+        weakest = min(current, key=lambda node: contribution[node])
+        current.remove(weakest)
+    return None
+
+
+def _grow_to_maximal(
+    graph: UncertainGraph, clique: frozenset, tau: float
+) -> frozenset:
+    """Greedily add the best extending node until no extension remains."""
+    members = list(clique)
+    prob = clique_probability(graph, members)
+    member_set = set(members)
+    while True:
+        best_node = None
+        best_pi = 0.0
+        anchor = members[0]
+        for v in graph.neighbors(anchor):
+            if v in member_set:
+                continue
+            incident = graph.incident(v)
+            pi = 1.0
+            for u in members:
+                p = incident.get(u)
+                if p is None:
+                    pi = 0.0
+                    break
+                pi *= p
+            if pi > best_pi and prob_at_least(prob * pi, tau):
+                best_pi = pi
+                best_node = v
+        if best_node is None:
+            return frozenset(members)
+        members.append(best_node)
+        member_set.add(best_node)
+        prob *= best_pi
+
+
+def approximate_maximal_cliques(
+    graph: UncertainGraph,
+    k: int,
+    tau: float,
+    samples: int = 50,
+    seed: int | None = 0,
+) -> set[frozenset]:
+    """Mine maximal (k, tau)-cliques by possible-world sampling.
+
+    Every returned set is exactly verified; the result may miss cliques
+    (see the module docstring for the statistical recall argument).
+    """
+    validate_k(k)
+    tau = validate_tau(tau)
+    if samples <= 0:
+        raise ParameterError(f"samples must be positive, got {samples}")
+    rng = random.Random(seed)
+    edges = list(graph.edges())
+
+    candidates: set[frozenset] = set()
+    for _ in range(samples):
+        world = UncertainGraph(nodes=graph.nodes())
+        for u, v, p in edges:
+            if rng.random() < p:
+                world.add_edge(u, v, p)
+        for det_clique in bron_kerbosch_degeneracy(world):
+            if len(det_clique) <= k:
+                continue
+            repaired = _shrink_to_tau_clique(
+                graph, sorted(det_clique, key=str), k, tau
+            )
+            if repaired is not None:
+                candidates.add(_grow_to_maximal(graph, repaired, tau))
+
+    verified: set[frozenset] = set()
+    for candidate in candidates:
+        if is_maximal_k_tau_clique(graph, candidate, k, tau):
+            verified.add(candidate)
+    return verified

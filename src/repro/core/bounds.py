@@ -1,0 +1,113 @@
+"""Color-based upper bounds for maximum (k, tau)-clique search (Section V).
+
+Given a proper coloring of the deterministic graph, the members of any
+clique carry pairwise-distinct colors.  All three bounds below exploit this
+to cap how many candidates can still join the current clique ``R``; each
+returns that *extension* cap (the paper's ``col(C)``, ``r-bar`` and
+``s-bar``), so the full clique-size bound is ``len(R) + value``.
+
+* :func:`basic_color_bound` — the number of distinct candidate colors; uses
+  only the size constraint.
+* :func:`advanced_color_bound_one` (Eq. 8) — additionally uses the clique
+  probability: at most one candidate per color can join, and the joining
+  candidates' connection probabilities ``pi_v(R)`` multiply into
+  ``CPr(R)``, so the best case takes the per-color maxima in decreasing
+  order until the running product drops below ``tau``.
+* :func:`advanced_color_bound_two` (Eq. 9) — the same idea applied per
+  clique member ``u``: each color class contributes at most one edge at
+  ``u``, of probability at most the class maximum; the tightest member
+  wins.
+
+Both advanced bounds are proven upper bounds in Lemmas 6 and 7.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.uncertain.graph import Node, UncertainGraph
+from repro.utils.validation import prob_at_least
+
+__all__ = [
+    "basic_color_bound",
+    "advanced_color_bound_one",
+    "advanced_color_bound_two",
+]
+
+
+def basic_color_bound(
+    colors: dict[Node, int], candidates: Iterable[Node]
+) -> int:
+    """``col(C)`` — the number of distinct colors among the candidates."""
+    return len({colors[v] for v in candidates})
+
+
+def _prefix_budget(
+    values: list[float], clique_prob: float, tau: float
+) -> int:
+    """Longest prefix of descending ``values`` whose product times
+    ``clique_prob`` stays at least ``tau``."""
+    count = 0
+    running = clique_prob
+    for value in values:
+        running *= value
+        if not prob_at_least(running, tau):
+            break
+        count += 1
+    return count
+
+
+def advanced_color_bound_one(
+    colors: dict[Node, int],
+    candidates: Sequence[tuple[Node, float]],
+    clique_prob: float,
+    tau: float,
+) -> int:
+    """``r-bar`` of Eq. (8).
+
+    ``candidates`` holds ``(node, pi_node)`` pairs where ``pi_node`` is the
+    product of probabilities from the node to every clique member —
+    exactly the quantity the search maintains incrementally.
+    """
+    best_per_color: dict[int, float] = {}
+    for v, pi in candidates:
+        color = colors[v]
+        if pi > best_per_color.get(color, 0.0):
+            best_per_color[color] = pi
+    values = sorted(best_per_color.values(), reverse=True)
+    return _prefix_budget(values, clique_prob, tau)
+
+
+def advanced_color_bound_two(
+    graph: UncertainGraph,
+    colors: dict[Node, int],
+    clique: Sequence[Node],
+    candidates: Sequence[tuple[Node, float]],
+    clique_prob: float,
+    tau: float,
+) -> int:
+    """``s-bar`` of Eq. (9): the minimum per-member budget ``r_u``.
+
+    Returns ``len(candidate colors)`` when the clique is empty (the bound
+    is vacuous without members to anchor the edge probabilities).
+    """
+    if not clique:
+        return basic_color_bound(colors, (v for v, _ in candidates))
+    tightest = None
+    for u in clique:
+        incident = graph.incident(u)
+        best_per_color: dict[int, float] = {}
+        for v, _ in candidates:
+            p = incident.get(v)
+            if p is None:
+                continue  # v cannot join anyway; ignore for u's budget
+            color = colors[v]
+            if p > best_per_color.get(color, 0.0):
+                best_per_color[color] = p
+        values = sorted(best_per_color.values(), reverse=True)
+        budget = _prefix_budget(values, clique_prob, tau)
+        if tightest is None or budget < tightest:
+            tightest = budget
+            if tightest == 0:
+                break
+    return tightest if tightest is not None else 0

@@ -1,0 +1,345 @@
+"""Maximal (k, tau)-clique enumeration: MUCE, MUCE+, MUCE++ (Section IV).
+
+All three algorithms share one backtracking core — the set-enumeration
+search of Mukherjee et al. [18], [19] — and differ in how aggressively the
+graph is pruned before and during the search:
+
+================  ==================  ====================  ===============
+algorithm         preprocessing       cut optimization      in-search prune
+================  ==================  ====================  ===============
+``muce``          none                no                    no
+``muce_plus``     (k, tau)-core       yes                   TopKCore
+``muce_plus_plus`` (Top_k, tau)-core  yes                   TopKCore
+================  ==================  ====================  ===============
+
+The search state is the classic ``(R, C, X)`` triple: ``R`` the current
+tau-clique, ``C`` candidates that can still extend it, ``X`` nodes that can
+extend it but were already explored on another branch.  Because the clique
+probability is monotone non-increasing under node addition, ``R`` is maximal
+exactly when ``C`` and ``X`` are both empty, and candidate filtering is a
+single probability product per node.  For every candidate ``v`` we maintain
+``pi_v = prod of p(v, w) for w in R`` incrementally, so the filter
+``CPr(R + {u} + {v}) >= tau`` costs O(1).
+
+Size semantics: per Definition 2 a (k, tau)-clique has ``|C| > k``; the
+implementation therefore uses ``min_size = k + 1`` where the paper's
+pseudo-code loosely writes ``>= k`` (see DESIGN.md).
+
+The branch-size prune (Algorithm 4, line 19) skips both the recursion *and*
+the ``X`` update for a candidate ``u`` whose branch cannot reach
+``min_size`` — sound because the same bound certifies that ``u`` cannot
+extend any future (k, tau)-clique of that subtree either.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterator, Literal
+
+from repro.core.cut_pruning import cut_optimize
+from repro.core.ktau_core import dp_core_plus
+from repro.core.topk_core import topk_core
+from repro.deterministic.components import component_subgraphs
+from repro.uncertain.graph import Node, UncertainGraph
+from repro.utils.validation import FLOAT_EPS, validate_k, validate_tau
+
+__all__ = [
+    "EnumerationStats",
+    "maximal_cliques",
+    "muce",
+    "muce_plus",
+    "muce_plus_plus",
+]
+
+PruningRule = Literal["topk", "ktau", "none"]
+
+
+@dataclass
+class EnumerationStats:
+    """Counters exposed for the experiment harness (Figs. 3 and 4)."""
+
+    nodes_after_pruning: int = 0
+    components: int = 0
+    cuts_found: int = 0
+    cut_edges_removed: int = 0
+    search_calls: int = 0
+    insearch_prunes: int = 0
+    branch_size_prunes: int = 0
+    cliques: int = 0
+
+
+def _node_sort_key(node: Node) -> tuple[str, str]:
+    """Deterministic total order over arbitrary hashable nodes."""
+    return (type(node).__name__, str(node))
+
+
+def _ordered(nodes: Iterator[Node] | list[Node]) -> list[Node]:
+    """Nodes in the library's lexicographic order (Algorithm 4, line 16)."""
+    return sorted(nodes, key=_node_sort_key)
+
+
+def maximal_cliques(
+    graph: UncertainGraph,
+    k: int,
+    tau: float,
+    pruning: PruningRule = "topk",
+    cut: bool = True,
+    insearch: bool = True,
+    stats: EnumerationStats | None = None,
+) -> Iterator[frozenset]:
+    """Enumerate all maximal (k, tau)-cliques of ``graph``.
+
+    Parameters
+    ----------
+    pruning:
+        preprocessing rule — ``"topk"`` ((Top_k, tau)-core, Lemma 4),
+        ``"ktau"`` ((k, tau)-core via DPCore+, Lemma 1) or ``"none"``.
+    cut:
+        apply the cut-based optimization to the pruned graph (Lemma 5).
+    insearch:
+        run the TopKCore prune inside the recursion (Algorithm 4 lines
+        12-15).
+    stats:
+        optional mutable counter object filled in while enumerating.
+
+    Yields each maximal clique exactly once as a frozenset of nodes.
+    """
+    validate_k(k)
+    tau = validate_tau(tau)
+    if pruning not in ("topk", "ktau", "none"):
+        raise ValueError(f"unknown pruning rule {pruning!r}")
+    stats = stats if stats is not None else EnumerationStats()
+    min_size = k + 1
+
+    if pruning == "topk":
+        survivors = set(topk_core(graph, k, tau).nodes)
+    elif pruning == "ktau":
+        survivors = dp_core_plus(graph, k, tau)
+    else:
+        survivors = set(graph.nodes())
+    stats.nodes_after_pruning = len(survivors)
+    pruned = graph.induced_subgraph(survivors)
+
+    if cut:
+        result = cut_optimize(pruned, k, tau)
+        components = result.components
+        stats.cuts_found = result.cuts_found
+        stats.cut_edges_removed = result.edges_removed
+    else:
+        components = component_subgraphs(pruned)
+    stats.components = len(components)
+
+    # All threshold checks in the hot search loop use the pre-computed
+    # tolerant floor (see repro.utils.validation) instead of calling
+    # prob_at_least per edge.
+    tau_floor = tau * (1.0 - FLOAT_EPS)
+    for component in components:
+        if component.num_nodes < min_size:
+            continue
+        candidates = [(v, 1.0) for v in _ordered(component.nodes())]
+        yield from _muc(
+            component, [], 1.0, candidates, [], k, tau_floor, min_size,
+            insearch, stats,
+        )
+
+
+#: The in-search peel is skipped for candidate sets smaller than this —
+#: on small sets the branch-size prune catches the same dead branches at a
+#: fraction of the cost (engineering deviation from Algorithm 4's bare
+#: ``|R| < k`` condition; the peel is an optional optimization, so output
+#: is unaffected).
+_INSEARCH_MIN_CANDIDATES = 24
+
+
+def _muc(
+    component: UncertainGraph,
+    clique: list[Node],
+    clique_prob: float,
+    candidates: list[tuple[Node, float]],
+    excluded: list[tuple[Node, float]],
+    k: int,
+    tau_floor: float,
+    min_size: int,
+    insearch: bool,
+    stats: EnumerationStats,
+) -> Iterator[frozenset]:
+    """The recursive ``MUC`` procedure (Algorithm 4, lines 7-22).
+
+    ``candidates`` and ``excluded`` hold ``(node, pi_node)`` pairs where
+    ``pi_node`` is the product of probabilities from the node to every
+    member of ``clique``; the invariant ``clique_prob * pi_node >= tau``
+    holds for every entry.  ``tau_floor`` is the tolerance-adjusted
+    threshold computed once by the driver.
+    """
+    stats.search_calls += 1
+    if not candidates and not excluded:
+        if len(clique) >= min_size:
+            stats.cliques += 1
+            yield frozenset(clique)
+        return
+
+    if (
+        insearch
+        and len(clique) < min_size
+        and len(candidates) >= _INSEARCH_MIN_CANDIDATES
+    ):
+        # Lines 12-15: any maximal clique inside R + C lives in the
+        # (Top_k, tau)-core of the induced subgraph, so shrink C to it.
+        # (Small candidate sets skip the peel: the branch-size prune below
+        # handles them more cheaply — an engineering deviation from the
+        # pseudo-code's bare |R| < k condition; see the module docstring.)
+        pruned = _insearch_topk_prune(
+            component, clique, candidates, k, tau_floor, min_size
+        )
+        if pruned is None:
+            stats.insearch_prunes += 1
+            return
+        if len(pruned) < len(candidates):
+            stats.insearch_prunes += 1
+            candidates = pruned
+
+    remaining = candidates
+    excluded = list(excluded)
+    index = 0
+    while index < len(remaining):
+        u, pi_u = remaining[index]
+        index += 1
+        new_prob = clique_prob * pi_u
+        clique.append(u)
+        incident = component.incident(u)
+        get = incident.get
+        new_candidates = []
+        for v, pi_v in remaining[index:]:
+            p = get(v)
+            if p is not None:
+                pi = pi_v * p
+                if new_prob * pi >= tau_floor:
+                    new_candidates.append((v, pi))
+        if len(clique) + len(new_candidates) >= min_size:
+            new_excluded = []
+            for v, pi_v in excluded:
+                p = get(v)
+                if p is not None:
+                    pi = pi_v * p
+                    if new_prob * pi >= tau_floor:
+                        new_excluded.append((v, pi))
+            yield from _muc(
+                component, clique, new_prob, new_candidates, new_excluded,
+                k, tau_floor, min_size, insearch, stats,
+            )
+            clique.pop()
+            excluded.append((u, pi_u))
+        else:
+            # Line 19: the branch cannot reach min_size; the same bound
+            # certifies u cannot extend any later clique of this subtree,
+            # so u is dropped entirely (no X update needed).
+            stats.branch_size_prunes += 1
+            clique.pop()
+
+
+def _insearch_topk_prune(
+    component: UncertainGraph,
+    clique: list[Node],
+    candidates: list[tuple[Node, float]],
+    k: int,
+    tau_floor: float,
+    min_size: int,
+) -> list[tuple[Node, float]] | None:
+    """(Top_k, tau)-core peel of the subgraph induced by R + C, in place.
+
+    Specialised version of :func:`repro.core.topk_core.topk_core` for the
+    in-search prune: works directly on the component's adjacency (no
+    subgraph object is materialised) and returns the filtered candidate
+    list, or ``None`` when the branch is dead — a clique member was peeled
+    (Algorithm 3's ``V_I`` abort) or fewer than ``min_size`` nodes remain.
+    """
+    member_set = set(clique)
+    member_set.update(v for v, _ in candidates)
+    fixed = set(clique)
+
+    incident = {u: component.incident(u) for u in member_set}
+    probs: dict[Node, list[float]] = {}
+    queue: list[Node] = []
+    removed: set[Node] = set()
+    for u in member_set:
+        inc = incident[u]
+        plist = sorted(p for v, p in inc.items() if v in member_set)
+        probs[u] = plist
+        if not _pi_k_ok(plist, k, tau_floor):
+            if u in fixed:
+                return None
+            queue.append(u)
+            removed.add(u)
+
+    head = 0
+    while head < len(queue):
+        u = queue[head]
+        head += 1
+        inc_u = incident[u]
+        for v in inc_u:
+            if v not in member_set or v in removed:
+                continue
+            plist = probs[v]
+            idx = bisect.bisect_left(plist, inc_u[v])
+            plist.pop(idx)
+            if not _pi_k_ok(plist, k, tau_floor):
+                if v in fixed:
+                    return None
+                queue.append(v)
+                removed.add(v)
+
+    if len(member_set) - len(removed) < min_size:
+        return None
+    if not removed:
+        return candidates
+    return [(v, pi) for v, pi in candidates if v not in removed]
+
+
+def _pi_k_ok(sorted_probs: list[float], k: int, tau_floor: float) -> bool:
+    """Whether the top-k product of an ascending probability list clears
+    the threshold."""
+    if len(sorted_probs) < k:
+        return False
+    product = 1.0
+    for p in sorted_probs[len(sorted_probs) - k :]:
+        product *= p
+    return product >= tau_floor
+
+
+def muce(
+    graph: UncertainGraph,
+    k: int,
+    tau: float,
+    stats: EnumerationStats | None = None,
+) -> Iterator[frozenset]:
+    """The Mukherjee et al. [18], [19] baseline: set-enumeration search with
+    monotonicity and branch-size pruning but no core-based pruning."""
+    return maximal_cliques(
+        graph, k, tau, pruning="none", cut=False, insearch=False,
+        stats=stats,
+    )
+
+
+def muce_plus(
+    graph: UncertainGraph,
+    k: int,
+    tau: float,
+    stats: EnumerationStats | None = None,
+) -> Iterator[frozenset]:
+    """Algorithm 4 with the (k, tau)-core pruning rule (``MUCE+``)."""
+    return maximal_cliques(
+        graph, k, tau, pruning="ktau", cut=True, insearch=True, stats=stats,
+    )
+
+
+def muce_plus_plus(
+    graph: UncertainGraph,
+    k: int,
+    tau: float,
+    stats: EnumerationStats | None = None,
+) -> Iterator[frozenset]:
+    """Algorithm 4 with the (Top_k, tau)-core pruning rule (``MUCE++``)."""
+    return maximal_cliques(
+        graph, k, tau, pruning="topk", cut=True, insearch=True, stats=stats,
+    )

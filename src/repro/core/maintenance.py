@@ -1,0 +1,170 @@
+"""Incremental (k, tau)-core maintenance under graph updates.
+
+Real uncertain networks evolve: interactions accumulate (weights and
+probabilities rise) and edges appear or disappear.  Recomputing the
+(k, tau)-core from scratch on each update wastes work when the change is
+local.  This module maintains the core incrementally, in the spirit of the
+deterministic core-maintenance literature the paper cites ([1]):
+
+* **deletions / probability decreases** are handled exactly: the change
+  can only shrink the core, and the shrinkage is the peeling fixpoint
+  reachable from the affected endpoints;
+* **insertions / probability increases** can only grow the core, and any
+  new member must lie in the (deterministic) k-core of the updated graph
+  and be connected to the changed edge through it; the affected region is
+  re-peeled locally.
+
+The maintained core always equals ``dp_core_plus(graph, k, tau)`` — the
+test suite checks this after randomized update sequences.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.ktau_core import dp_core_plus
+from repro.core.tau_degree import survival_dp, tau_degree_from_survival
+from repro.uncertain.graph import Node, UncertainGraph
+from repro.utils.validation import (
+    validate_k,
+    validate_probability,
+    validate_tau,
+)
+
+__all__ = ["KTauCoreMaintainer"]
+
+
+class KTauCoreMaintainer:
+    """Maintains the (k, tau)-core of a mutable uncertain graph.
+
+    The maintainer owns a private copy of the graph; apply updates
+    through :meth:`add_edge`, :meth:`remove_edge` and
+    :meth:`set_probability`, and read the current core via :attr:`core`.
+
+    Example::
+
+        maintainer = KTauCoreMaintainer(graph, k=3, tau=0.5)
+        maintainer.add_edge("a", "b", 0.9)
+        maintainer.core          # updated (k, tau)-core node set
+    """
+
+    def __init__(self, graph: UncertainGraph, k: int, tau: float) -> None:
+        validate_k(k)
+        self.k = k
+        self.tau = validate_tau(tau)
+        self._graph = graph.copy()
+        self._core: set[Node] = dp_core_plus(self._graph, k, tau)
+
+    @property
+    def graph(self) -> UncertainGraph:
+        """A copy of the maintained graph (mutations don't leak in)."""
+        return self._graph.copy()
+
+    @property
+    def core(self) -> frozenset:
+        """The current (k, tau)-core."""
+        return frozenset(self._core)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def add_edge(self, u: Node, v: Node, p: float) -> frozenset:
+        """Insert an edge and return the updated core."""
+        self._graph.add_edge(u, v, p)
+        self._grow(u, v)
+        return self.core
+
+    def remove_edge(self, u: Node, v: Node) -> frozenset:
+        """Delete an edge and return the updated core."""
+        self._graph.remove_edge(u, v)
+        self._shrink((u, v))
+        return self.core
+
+    def set_probability(self, u: Node, v: Node, p: float) -> frozenset:
+        """Change an edge probability and return the updated core."""
+        p = validate_probability(p)
+        old = self._graph.probability(u, v)
+        self._graph.set_probability(u, v, p)
+        if p >= old:
+            self._grow(u, v)
+        else:
+            self._shrink((u, v))
+        return self.core
+
+    def add_node(self, node: Node) -> None:
+        """Insert an isolated node (never in the core for ``k >= 1``)."""
+        self._graph.add_node(node)
+        if self.k == 0:
+            self._core.add(node)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _tau_degree_within(self, node: Node, members: set[Node]) -> int:
+        """Truncated tau-degree of ``node`` in the subgraph on ``members``."""
+        probs = [
+            p
+            for v, p in self._graph.incident(node).items()
+            if v in members
+        ]
+        row = survival_dp(probs, self.k)
+        return tau_degree_from_survival(row, self.tau)
+
+    def _shrink(self, seed_edge: tuple[Node, Node]) -> None:
+        """Deletion/decrease: peel from the affected endpoints.
+
+        Only current core members adjacent to the change can fall out,
+        and their removal cascades — exactly a peeling restricted to the
+        current core.
+        """
+        queue = deque(
+            u for u in seed_edge
+            if u in self._core
+            and self._tau_degree_within(u, self._core) < self.k
+        )
+        condemned = set(queue)
+        while queue:
+            u = queue.popleft()
+            self._core.discard(u)
+            for v in self._graph.neighbors(u):
+                if v in self._core and v not in condemned:
+                    if self._tau_degree_within(v, self._core) < self.k:
+                        condemned.add(v)
+                        queue.append(v)
+
+    def _grow(self, u: Node, v: Node) -> None:
+        """Insertion/increase: re-peel the affected region.
+
+        New core members must be connected to the changed edge through
+        nodes outside the current core (members stay members: their
+        tau-degrees only went up).  We collect that candidate region —
+        non-core nodes reachable from the endpoints without crossing the
+        existing core — and run a local peeling over core + region.
+        """
+        region: set[Node] = set()
+        queue = deque(x for x in (u, v) if x not in self._core)
+        region.update(queue)
+        while queue:
+            x = queue.popleft()
+            for w in self._graph.neighbors(x):
+                if w not in self._core and w not in region:
+                    region.add(w)
+                    queue.append(w)
+        if not region:
+            return
+
+        # Local peeling over the candidate union; core members act as
+        # immovable support (they cannot leave on an insertion).
+        candidates = set(region)
+        support = self._core | candidates
+        changed = True
+        while changed:
+            changed = False
+            for x in list(candidates):
+                if self._tau_degree_within(x, support) < self.k:
+                    candidates.discard(x)
+                    support.discard(x)
+                    changed = True
+        self._core |= candidates

@@ -1,0 +1,360 @@
+"""Maximum (k, tau)-clique search: MaxUC, MaxRDS and MaxUC+ (Section V).
+
+All three return one largest (k, tau)-clique (or ``None`` when the graph
+has none); they differ in their pruning machinery:
+
+* :func:`max_uc` — branch-and-bound over the same set-enumeration tree as
+  the enumerator, pruning only with the candidate-set-size bound
+  ``|R| + |C|``;
+* :func:`max_rds` — the Miao et al. [21] baseline: Russian Doll Search
+  (Ostergard [44]) adapted to tau-cliques.  Subproblem ``i`` searches the
+  suffix ``{v_i, ..., v_n}`` of a fixed ordering and may improve on
+  subproblem ``i + 1`` by at most one node, which both caps the work per
+  subproblem and supplies the ``c[j]`` suffix bounds;
+* :func:`max_uc_plus` — the paper's algorithm: (Top_k, tau)-core
+  preprocessing, cut optimization, in-search TopKCore pruning, and the
+  three color-based upper bounds of :mod:`repro.core.bounds` applied
+  cheapest-first (basic, then advanced I, then advanced II).
+
+Size semantics follow Definition 2: a valid answer has more than ``k``
+nodes, so searches start from an incumbent size of ``k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.core.bounds import (
+    advanced_color_bound_one,
+    advanced_color_bound_two,
+    basic_color_bound,
+)
+from repro.core.cut_pruning import cut_optimize
+from repro.core.topk_core import topk_core
+from repro.deterministic.coloring import greedy_coloring
+from repro.uncertain.graph import Node, UncertainGraph
+from repro.utils.validation import (
+    FLOAT_EPS,
+    prob_at_least,
+    validate_k,
+    validate_tau,
+)
+
+__all__ = [
+    "MaximumSearchStats",
+    "maximum_clique",
+    "max_uc",
+    "max_rds",
+    "max_uc_plus",
+]
+
+
+@dataclass
+class MaximumSearchStats:
+    """Counters exposed for the experiment harness (Fig. 5)."""
+
+    search_calls: int = 0
+    size_bound_prunes: int = 0
+    basic_color_prunes: int = 0
+    advanced_one_prunes: int = 0
+    advanced_two_prunes: int = 0
+    insearch_prunes: int = 0
+    best_size: int = 0
+
+
+def _node_sort_key(node: Node) -> tuple[str, str]:
+    """Deterministic total order over arbitrary hashable nodes."""
+    return (type(node).__name__, str(node))
+
+
+# ----------------------------------------------------------------------
+# MaxUC: candidate-set-size bound only
+# ----------------------------------------------------------------------
+
+def max_uc(
+    graph: UncertainGraph,
+    k: int,
+    tau: float,
+    stats: MaximumSearchStats | None = None,
+) -> frozenset | None:
+    """Maximum (k, tau)-clique with only the ``|R| + |C|`` bound."""
+    validate_k(k)
+    tau = validate_tau(tau)
+    stats = stats if stats is not None else MaximumSearchStats()
+    min_size = k + 1
+    tau_floor = tau * (1.0 - FLOAT_EPS)
+
+    best: list[Node] | None = None
+    best_size = k  # incumbent: anything <= k nodes does not count
+
+    def search(
+        clique: list[Node],
+        clique_prob: float,
+        candidates: list[tuple[Node, float]],
+    ) -> None:
+        nonlocal best, best_size
+        stats.search_calls += 1
+        if len(clique) > best_size:
+            best = list(clique)
+            best_size = len(clique)
+        index = 0
+        while index < len(candidates):
+            if len(clique) + len(candidates) - index <= best_size:
+                stats.size_bound_prunes += 1
+                return
+            u, pi_u = candidates[index]
+            index += 1
+            new_prob = clique_prob * pi_u
+            incident = graph.incident(u)
+            new_candidates = []
+            for v, pi_v in candidates[index:]:
+                p = incident.get(v)
+                if p is None:
+                    continue
+                pi = pi_v * p
+                if new_prob * pi >= tau_floor:
+                    new_candidates.append((v, pi))
+            clique.append(u)
+            search(clique, new_prob, new_candidates)
+            clique.pop()
+
+    ordered = sorted(graph.nodes(), key=_node_sort_key)
+    search([], 1.0, [(v, 1.0) for v in ordered])
+    stats.best_size = best_size if best is not None else 0
+    if best is None or len(best) < min_size:
+        return None
+    return frozenset(best)
+
+
+# ----------------------------------------------------------------------
+# MaxRDS: Russian Doll Search baseline (Miao et al. [21])
+# ----------------------------------------------------------------------
+
+def max_rds(
+    graph: UncertainGraph,
+    k: int,
+    tau: float,
+    stats: MaximumSearchStats | None = None,
+) -> frozenset | None:
+    """Maximum (k, tau)-clique via Russian Doll Search.
+
+    Nodes are processed in their natural order (as the Miao et al.
+    baseline does); subproblem ``i`` looks for tau-cliques containing
+    ``v_i`` inside the suffix ``{v_i, ..., v_n}``.  Since a maximum tau-clique of suffix ``i``
+    either avoids ``v_i`` (size ``c[i+1]``) or loses ``v_i`` to give a
+    tau-clique of suffix ``i + 1`` (size ``<= c[i+1] + 1``), each
+    subproblem only ever hunts for one specific target size and stops at
+    the first witness.
+    """
+    validate_k(k)
+    tau = validate_tau(tau)
+    stats = stats if stats is not None else MaximumSearchStats()
+    min_size = k + 1
+    tau_floor = tau * (1.0 - FLOAT_EPS)
+
+    order = sorted(graph.nodes(), key=_node_sort_key)
+    position = {v: i for i, v in enumerate(order)}
+    n = len(order)
+    c = [0] * (n + 1)
+    best: list[Node] | None = None
+
+    for i in range(n - 1, -1, -1):
+        v = order[i]
+        target = c[i + 1] + 1
+        found = False
+
+        def search(
+            clique: list[Node],
+            clique_prob: float,
+            candidates: list[tuple[Node, float]],
+        ) -> None:
+            nonlocal best, found
+            stats.search_calls += 1
+            if found:
+                return
+            if best is None or len(clique) > len(best):
+                best = list(clique)
+            if len(clique) >= target:
+                found = True
+                return
+            index = 0
+            while index < len(candidates) and not found:
+                if len(clique) + len(candidates) - index < target:
+                    stats.size_bound_prunes += 1
+                    return
+                u, pi_u = candidates[index]
+                index += 1
+                # Suffix bound: everything after u lives in suffix
+                # pos(u) + 1, so the extension cannot beat c[pos(u) + 1].
+                if len(clique) + 1 + c[position[u] + 1] < target:
+                    stats.size_bound_prunes += 1
+                    return
+                new_prob = clique_prob * pi_u
+                incident = graph.incident(u)
+                new_candidates = []
+                for w, pi_w in candidates[index:]:
+                    p = incident.get(w)
+                    if p is None:
+                        continue
+                    pi = pi_w * p
+                    if new_prob * pi >= tau_floor:
+                        new_candidates.append((w, pi))
+                clique.append(u)
+                search(clique, new_prob, new_candidates)
+                clique.pop()
+
+        initial = []
+        for w, p in sorted(
+            graph.incident(v).items(), key=lambda item: position[item[0]]
+        ):
+            if position[w] > i and prob_at_least(p, tau):
+                initial.append((w, p))
+        search([v], 1.0, initial)
+        c[i] = c[i + 1] + (1 if found else 0)
+
+    stats.best_size = len(best) if best is not None else 0
+    if best is None or len(best) < min_size:
+        return None
+    return frozenset(best)
+
+
+# ----------------------------------------------------------------------
+# MaxUC+: the paper's algorithm with all three color bounds
+# ----------------------------------------------------------------------
+
+def max_uc_plus(
+    graph: UncertainGraph,
+    k: int,
+    tau: float,
+    stats: MaximumSearchStats | None = None,
+    use_advanced_one: bool = True,
+    use_advanced_two: bool = True,
+    insearch: bool = True,
+) -> frozenset | None:
+    """Maximum (k, tau)-clique with core/cut pruning and color bounds.
+
+    The ``use_advanced_*`` and ``insearch`` switches exist for the
+    ablation benchmarks; the defaults reproduce the paper's ``MaxUC+``.
+    """
+    validate_k(k)
+    tau = validate_tau(tau)
+    stats = stats if stats is not None else MaximumSearchStats()
+    min_size = k + 1
+    tau_floor = tau * (1.0 - FLOAT_EPS)
+
+    survivors = topk_core(graph, k, tau).nodes
+    pruned = graph.induced_subgraph(survivors)
+    components = cut_optimize(pruned, k, tau).components
+
+    best: list[Node] | None = None
+    best_size = k
+
+    for component in components:
+        if component.num_nodes <= best_size:
+            continue
+        colors = greedy_coloring(component)
+
+        def search(
+            clique: list[Node],
+            clique_prob: float,
+            candidates: list[tuple[Node, float]],
+        ) -> None:
+            nonlocal best, best_size
+            stats.search_calls += 1
+            if len(clique) > best_size:
+                best = list(clique)
+                best_size = len(clique)
+            if not candidates:
+                return
+
+            # Bounds, cheapest first (Section V implementation details).
+            if len(clique) + basic_color_bound(
+                colors, (v for v, _ in candidates)
+            ) <= best_size:
+                stats.basic_color_prunes += 1
+                return
+            if use_advanced_one and len(clique) + advanced_color_bound_one(
+                colors, candidates, clique_prob, tau
+            ) <= best_size:
+                stats.advanced_one_prunes += 1
+                return
+            if (
+                use_advanced_two
+                and clique
+                and len(clique) + advanced_color_bound_two(
+                    component, colors, clique, candidates, clique_prob, tau
+                ) <= best_size
+            ):
+                stats.advanced_two_prunes += 1
+                return
+
+            if insearch and len(clique) < min_size:
+                members = clique + [v for v, _ in candidates]
+                sub = component.induced_subgraph(members)
+                core = topk_core(sub, k, tau, fixed=set(clique))
+                if not core.contains_fixed or len(core.nodes) < min_size:
+                    stats.insearch_prunes += 1
+                    return
+                if len(core.nodes) < len(members):
+                    stats.insearch_prunes += 1
+                    candidates = [
+                        (v, pi) for v, pi in candidates if v in core.nodes
+                    ]
+
+            index = 0
+            while index < len(candidates):
+                if len(clique) + len(candidates) - index <= best_size:
+                    stats.size_bound_prunes += 1
+                    return
+                u, pi_u = candidates[index]
+                index += 1
+                new_prob = clique_prob * pi_u
+                incident = component.incident(u)
+                new_candidates = []
+                for v, pi_v in candidates[index:]:
+                    p = incident.get(v)
+                    if p is None:
+                        continue
+                    pi = pi_v * p
+                    if new_prob * pi >= tau_floor:
+                        new_candidates.append((v, pi))
+                clique.append(u)
+                search(clique, new_prob, new_candidates)
+                clique.pop()
+
+        ordered = sorted(component.nodes(), key=_node_sort_key)
+        search([], 1.0, [(v, 1.0) for v in ordered])
+
+    stats.best_size = best_size if best is not None else 0
+    if best is None or len(best) < min_size:
+        return None
+    return frozenset(best)
+
+
+Algorithm = Literal["max_uc", "max_rds", "max_uc_plus"]
+
+_ALGORITHMS = {
+    "max_uc": max_uc,
+    "max_rds": max_rds,
+    "max_uc_plus": max_uc_plus,
+}
+
+
+def maximum_clique(
+    graph: UncertainGraph,
+    k: int,
+    tau: float,
+    algorithm: Algorithm = "max_uc_plus",
+    stats: MaximumSearchStats | None = None,
+) -> frozenset | None:
+    """Front door: find one maximum (k, tau)-clique with the chosen
+    algorithm (default: the paper's ``MaxUC+``)."""
+    try:
+        impl = _ALGORITHMS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; "
+            f"expected one of {sorted(_ALGORITHMS)}"
+        ) from None
+    return impl(graph, k, tau, stats=stats)

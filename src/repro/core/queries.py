@@ -1,0 +1,131 @@
+"""Query layer: targeted maximal-clique questions.
+
+Downstream applications rarely want *all* maximal (k, tau)-cliques; they
+ask focused questions: "which reliable groups contain this user?", "can
+this candidate set be extended?", "is this set itself one of the answers?".
+This module answers those without a full enumeration by reusing the
+fixed-set variant of Algorithm 3 (the ``V_I`` parameter the paper
+introduces exactly for anchored searches) and restricting the
+set-enumeration to the anchor's neighborhood.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.core.enumeration import maximal_cliques
+from repro.core.topk_core import topk_core
+from repro.errors import NodeNotFoundError
+from repro.uncertain.clique_prob import clique_probability, is_clique
+from repro.uncertain.graph import Node, UncertainGraph
+from repro.utils.validation import prob_at_least, validate_k, validate_tau
+
+__all__ = [
+    "cliques_containing",
+    "is_extendable",
+    "containing_clique_exists",
+]
+
+
+def cliques_containing(
+    graph: UncertainGraph,
+    node: Node,
+    k: int,
+    tau: float,
+) -> Iterator[frozenset]:
+    """Yield every maximal (k, tau)-clique of ``graph`` containing ``node``.
+
+    Restricts the search to the closed neighborhood of ``node``: any
+    clique containing the node lives there, and any extender of such a
+    clique is adjacent to the node, hence also lives there — so maximal
+    cliques containing ``node`` are in exact bijection between the full
+    graph and the neighborhood subgraph.  The subgraph is further pruned
+    with the anchored (Top_k, tau)-core (Algorithm 3's ``V_I``), which
+    aborts immediately when the node itself cannot survive.
+    """
+    validate_k(k)
+    tau = validate_tau(tau)
+    if not graph.has_node(node):
+        raise NodeNotFoundError(node)
+
+    neighborhood = set(graph.neighbors(node)) | {node}
+    sub = graph.induced_subgraph(neighborhood)
+    anchored = topk_core(sub, k, tau, fixed={node})
+    if not anchored:
+        return
+    core_sub = sub.induced_subgraph(anchored.nodes)
+    for clique in maximal_cliques(core_sub, k, tau, pruning="none"):
+        if node in clique:
+            yield clique
+
+
+def is_extendable(
+    graph: UncertainGraph,
+    nodes: Iterable[Node],
+    tau: float,
+) -> bool:
+    """Whether some single node can extend ``nodes`` to a larger
+    tau-clique (the complement of the maximality condition)."""
+    tau = validate_tau(tau)
+    members = list(dict.fromkeys(nodes))
+    if not members:
+        return graph.num_nodes > 0
+    if not is_clique(graph, members):
+        return False
+    base = clique_probability(graph, members)
+    member_set = set(members)
+    for v in graph.neighbors(members[0]):
+        if v in member_set:
+            continue
+        extension = base
+        incident = graph.incident(v)
+        for u in members:
+            p = incident.get(u)
+            if p is None:
+                extension = 0.0
+                break
+            extension *= p
+        if extension and prob_at_least(extension, tau):
+            return True
+    return False
+
+
+def containing_clique_exists(
+    graph: UncertainGraph,
+    nodes: Iterable[Node],
+    k: int,
+    tau: float,
+) -> bool:
+    """Whether some maximal (k, tau)-clique contains all of ``nodes``.
+
+    Equivalent to: ``nodes`` is a tau-clique and can be grown (possibly
+    by zero steps) to size above ``k`` while keeping ``CPr >= tau``.
+    Decided by an anchored search on the common neighborhood.
+    """
+    validate_k(k)
+    tau = validate_tau(tau)
+    members = list(dict.fromkeys(nodes))
+    if not members:
+        return False
+    if not is_clique(graph, members):
+        return False
+    if not prob_at_least(clique_probability(graph, members), tau):
+        return False
+    if len(members) > k:
+        return True  # already a (k, tau)-clique; some maximal one holds it
+
+    # Grow within the common neighborhood of the anchor set.
+    common = set(graph.neighbors(members[0]))
+    for u in members[1:]:
+        common &= set(graph.neighbors(u))
+    region = common | set(members)
+    sub = graph.induced_subgraph(region)
+    anchored = topk_core(sub, k, tau, fixed=set(members))
+    if not anchored:
+        return False
+    core_sub = sub.induced_subgraph(anchored.nodes)
+    member_set = set(members)
+    for clique in maximal_cliques(core_sub, k, tau, pruning="none"):
+        if member_set <= clique:
+            return True
+    return False

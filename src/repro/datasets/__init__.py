@@ -1,0 +1,50 @@
+"""Synthetic uncertain-graph datasets and the Table-I style registry.
+
+The paper evaluates on five SNAP/KONECT graphs plus the Krogan CORE PPI
+network.  Without network access (and at pure-Python speed) we substitute
+parameterized synthetic analogs that preserve the structural drivers of
+every experiment; see DESIGN.md section 2 for the substitution rationale.
+"""
+
+from repro.datasets.probability_models import (
+    ExponentialWeightModel,
+    UniformProbabilityModel,
+    ConstantProbabilityModel,
+)
+from repro.datasets.synthetic import (
+    random_uncertain_graph,
+    planted_clique_graph,
+    collaboration_network,
+    collaboration_weights,
+    communication_network,
+    communication_weights,
+    WeightedGraph,
+)
+from repro.datasets.ppi import ppi_network, PPINetwork
+from repro.datasets.registry import (
+    DATASETS,
+    DatasetSpec,
+    load_dataset,
+    dataset_statistics,
+    GraphStatistics,
+)
+
+__all__ = [
+    "ExponentialWeightModel",
+    "UniformProbabilityModel",
+    "ConstantProbabilityModel",
+    "random_uncertain_graph",
+    "planted_clique_graph",
+    "collaboration_network",
+    "collaboration_weights",
+    "communication_network",
+    "communication_weights",
+    "WeightedGraph",
+    "ppi_network",
+    "PPINetwork",
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "dataset_statistics",
+    "GraphStatistics",
+]

@@ -1,0 +1,351 @@
+"""Synthetic uncertain-graph generators.
+
+Two families of generators mirror the paper's dataset families:
+
+* :func:`collaboration_network` — a *team assembly* model for the DBLP and
+  CaHepTh analogs.  "Papers" are teams of authors; every co-occurrence of a
+  pair adds one unit of interaction weight; recurrent "hot" teams co-author
+  many times, producing the high-probability large cliques that carry the
+  paper's (k, tau)-clique results under the exponential probability model
+  ``p = 1 - exp(-w / lambda)``.
+* :func:`communication_network` — a thread/reply model for the AskUbuntu,
+  SuperUser and WikiTalk analogs.  Star-shaped threads around heavy-tailed
+  hubs create the ``d_max >> degeneracy`` gap that drives Fig. 2 (DPCore+
+  vs DPCore), while planted recurrent discussion groups keep non-trivial
+  clique structure present.
+
+Both produce an intermediate :class:`WeightedGraph` of integer interaction
+weights, converted to probabilities by a pluggable model — exactly the
+pipeline the paper applies to its real datasets, which is what lets Exp-7
+re-convert identical structure with different lambdas or a uniform model.
+
+All generators are deterministic given their ``seed``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Callable, Iterable, Sequence
+
+from repro.datasets.probability_models import ExponentialWeightModel
+from repro.errors import DatasetError, ParameterError
+from repro.uncertain.graph import Node, UncertainGraph
+
+__all__ = [
+    "WeightedGraph",
+    "random_uncertain_graph",
+    "planted_clique_graph",
+    "collaboration_network",
+    "communication_network",
+]
+
+ProbabilityModel = Callable[[float], float]
+
+
+class WeightedGraph:
+    """Accumulator of integer interaction weights between node pairs.
+
+    The raw-material stage of every synthetic dataset: generators record
+    interactions here, then :meth:`to_uncertain` converts weights into
+    probabilities with a model such as
+    :class:`~repro.datasets.probability_models.ExponentialWeightModel`.
+    """
+
+    def __init__(self) -> None:
+        self._weights: dict[frozenset, float] = {}
+        self._nodes: set[Node] = set()
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of distinct nodes seen so far."""
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of node pairs with positive weight."""
+        return len(self._weights)
+
+    def add_node(self, node: Node) -> None:
+        """Register a node without any interaction."""
+        self._nodes.add(node)
+
+    def add_interaction(self, u: Node, v: Node, amount: float = 1) -> None:
+        """Add ``amount`` to the weight between ``u`` and ``v``."""
+        if u == v:
+            raise DatasetError("self interactions are not allowed")
+        if amount <= 0:
+            raise DatasetError(f"amount must be positive, got {amount}")
+        key = frozenset((u, v))
+        self._weights[key] = self._weights.get(key, 0) + amount
+        self._nodes.add(u)
+        self._nodes.add(v)
+
+    def add_team(self, members: Iterable[Node], amount: float = 1) -> None:
+        """Add ``amount`` to every pair among ``members`` (one 'paper')."""
+        distinct = list(dict.fromkeys(members))
+        for u, v in itertools.combinations(distinct, 2):
+            self.add_interaction(u, v, amount)
+
+    def weight(self, u: Node, v: Node) -> float:
+        """Current weight between ``u`` and ``v`` (0 when never interacted)."""
+        return self._weights.get(frozenset((u, v)), 0)
+
+    def to_uncertain(self, model: ProbabilityModel) -> UncertainGraph:
+        """Convert to an :class:`UncertainGraph` via ``model(weight)``."""
+        graph = UncertainGraph(nodes=self._nodes)
+        for key, w in self._weights.items():
+            u, v = tuple(key)
+            graph.add_edge(u, v, model(w))
+        return graph
+
+
+# ----------------------------------------------------------------------
+# Simple generators (primarily for tests and examples)
+# ----------------------------------------------------------------------
+
+def random_uncertain_graph(
+    n: int,
+    edge_probability: float,
+    seed: int | None = None,
+    prob_range: tuple[float, float] = (0.2, 1.0),
+) -> UncertainGraph:
+    """Erdos-Renyi uncertain graph: each pair gets an edge with probability
+    ``edge_probability``; edge existence probabilities are uniform in
+    ``prob_range``."""
+    if n < 0:
+        raise ParameterError(f"n must be non-negative, got {n}")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ParameterError(
+            f"edge_probability must be in [0, 1], got {edge_probability}"
+        )
+    low, high = prob_range
+    if not 0.0 <= low < high <= 1.0:
+        raise ParameterError(f"bad prob_range {prob_range}")
+    rng = random.Random(seed)
+    graph = UncertainGraph(nodes=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < edge_probability:
+                p = low + (high - low) * rng.random()
+                graph.add_edge(u, v, min(max(p, 1e-12), 1.0))
+    return graph
+
+
+def planted_clique_graph(
+    n_background: int,
+    clique_sizes: Sequence[int],
+    clique_prob: float = 0.95,
+    background_edge_probability: float = 0.02,
+    background_prob: float = 0.4,
+    seed: int | None = None,
+) -> tuple[UncertainGraph, list[frozenset]]:
+    """Sparse background noise plus planted high-probability cliques.
+
+    Returns ``(graph, planted)`` where ``planted`` lists the planted node
+    sets.  The planted cliques use probability ``clique_prob`` per edge;
+    background edges use ``background_prob``.  Planted cliques occupy the
+    lowest node ids, consecutively.
+    """
+    rng = random.Random(seed)
+    graph = UncertainGraph()
+    planted: list[frozenset] = []
+    next_id = 0
+    for size in clique_sizes:
+        if size < 2:
+            raise ParameterError(f"clique sizes must be >= 2, got {size}")
+        members = list(range(next_id, next_id + size))
+        next_id += size
+        for u, v in itertools.combinations(members, 2):
+            graph.add_edge(u, v, clique_prob)
+        planted.append(frozenset(members))
+    total = next_id + n_background
+    for node in range(next_id, total):
+        graph.add_node(node)
+    for u in range(total):
+        for v in range(u + 1, total):
+            if graph.has_edge(u, v):
+                continue
+            if rng.random() < background_edge_probability:
+                graph.add_edge(u, v, background_prob)
+    return graph, planted
+
+
+# ----------------------------------------------------------------------
+# The paper-scale dataset families
+# ----------------------------------------------------------------------
+
+def _zipf_drawer(
+    rng: random.Random, n: int, exponent: float
+) -> Callable[[int], list[int]]:
+    """Sampler of node ids with Zipf-like popularity (id 0 most popular)."""
+    weights = [1.0 / (i + 1) ** exponent for i in range(n)]
+    cumulative = list(itertools.accumulate(weights))
+    population = range(n)
+
+    def draw(count: int) -> list[int]:
+        return rng.choices(population, cum_weights=cumulative, k=count)
+
+    return draw
+
+
+def collaboration_network(
+    n_authors: int = 3000,
+    hot_teams: int = 40,
+    hot_size: tuple[int, int] = (8, 16),
+    hot_repeats: tuple[int, int] = (8, 25),
+    casual_teams: int = 9000,
+    casual_size: tuple[int, int] = (2, 6),
+    zipf_exponent: float = 0.8,
+    participation: float = 0.95,
+    model: ProbabilityModel | None = None,
+    seed: int = 0,
+) -> UncertainGraph:
+    """Team-assembly collaboration network (DBLP / CaHepTh analog).
+
+    * ``hot_teams`` recurrent research groups co-author ``hot_repeats``
+      papers each; every paper involves ~90% of the group, so intra-group
+      weights are large and the groups become high-probability cliques.
+    * ``casual_teams`` one-off papers with Zipf-popular authors supply the
+      heavy-tailed background (weight mostly 1, probability ~0.39 under
+      the default exponential model).
+
+    Use :func:`collaboration_weights` to get the raw weighted graph.
+    """
+    weighted = collaboration_weights(
+        n_authors=n_authors,
+        hot_teams=hot_teams,
+        hot_size=hot_size,
+        hot_repeats=hot_repeats,
+        casual_teams=casual_teams,
+        casual_size=casual_size,
+        zipf_exponent=zipf_exponent,
+        participation=participation,
+        seed=seed,
+    )
+    return weighted.to_uncertain(model or ExponentialWeightModel())
+
+
+def collaboration_weights(
+    n_authors: int = 3000,
+    hot_teams: int = 40,
+    hot_size: tuple[int, int] = (8, 16),
+    hot_repeats: tuple[int, int] = (8, 25),
+    casual_teams: int = 9000,
+    casual_size: tuple[int, int] = (2, 6),
+    zipf_exponent: float = 0.8,
+    participation: float = 0.95,
+    seed: int = 0,
+) -> WeightedGraph:
+    """The weighted-interaction stage of :func:`collaboration_network`."""
+    if n_authors < hot_size[1]:
+        raise ParameterError(
+            "n_authors must be at least the largest hot-team size"
+        )
+    rng = random.Random(seed)
+    weighted = WeightedGraph()
+    for node in range(n_authors):
+        weighted.add_node(node)
+
+    # Hot teams: uniformly sampled member sets, many repeated papers.
+    for _ in range(hot_teams):
+        size = rng.randint(*hot_size)
+        members = rng.sample(range(n_authors), size)
+        repeats = rng.randint(*hot_repeats)
+        for _ in range(repeats):
+            participants = [
+                m for m in members if rng.random() < participation
+            ]
+            if len(participants) >= 2:
+                weighted.add_team(participants)
+
+    # Casual papers: a Zipf-popular lead author with uniformly drawn
+    # co-authors.  (Popularity skews *degrees*, as in real collaboration
+    # data; drawing every member by popularity would instead pile weight
+    # onto the same celebrity pairs and fabricate a dense core.)
+    draw = _zipf_drawer(rng, n_authors, zipf_exponent)
+    for _ in range(casual_teams):
+        size = rng.randint(*casual_size)
+        members = draw(1) + rng.choices(range(n_authors), k=size - 1)
+        members = list(dict.fromkeys(members))
+        if len(members) >= 2:
+            weighted.add_team(members)
+    return weighted
+
+
+def communication_network(
+    n_users: int = 3000,
+    threads: int = 9000,
+    replies_per_thread: tuple[int, int] = (1, 8),
+    groups: int = 25,
+    group_size: tuple[int, int] = (8, 16),
+    group_repeats: tuple[int, int] = (8, 20),
+    zipf_exponent: float = 1.1,
+    participation: float = 0.95,
+    model: ProbabilityModel | None = None,
+    seed: int = 0,
+) -> UncertainGraph:
+    """Thread/reply communication network (AskUbuntu / WikiTalk analog).
+
+    * ``threads`` star-shaped question threads: a Zipf-popular author
+      receives replies from random users — this is what inflates ``d_max``
+      far above the degeneracy (the WikiTalk effect of Fig. 2).
+    * ``groups`` recurrent discussion circles interact all-to-all many
+      times, planting high-probability cliques.
+
+    Use :func:`communication_weights` to get the raw weighted graph.
+    """
+    weighted = communication_weights(
+        n_users=n_users,
+        threads=threads,
+        replies_per_thread=replies_per_thread,
+        groups=groups,
+        group_size=group_size,
+        group_repeats=group_repeats,
+        zipf_exponent=zipf_exponent,
+        participation=participation,
+        seed=seed,
+    )
+    return weighted.to_uncertain(model or ExponentialWeightModel())
+
+
+def communication_weights(
+    n_users: int = 3000,
+    threads: int = 9000,
+    replies_per_thread: tuple[int, int] = (1, 8),
+    groups: int = 25,
+    group_size: tuple[int, int] = (8, 16),
+    group_repeats: tuple[int, int] = (8, 20),
+    zipf_exponent: float = 1.1,
+    participation: float = 0.95,
+    seed: int = 0,
+) -> WeightedGraph:
+    """The weighted-interaction stage of :func:`communication_network`."""
+    if n_users < group_size[1]:
+        raise ParameterError(
+            "n_users must be at least the largest group size"
+        )
+    rng = random.Random(seed)
+    weighted = WeightedGraph()
+    for node in range(n_users):
+        weighted.add_node(node)
+
+    draw = _zipf_drawer(rng, n_users, zipf_exponent)
+    for _ in range(threads):
+        author = draw(1)[0]
+        replies = rng.randint(*replies_per_thread)
+        for replier in rng.choices(range(n_users), k=replies):
+            if replier != author:
+                weighted.add_interaction(author, replier)
+
+    for _ in range(groups):
+        size = rng.randint(*group_size)
+        members = rng.sample(range(n_users), size)
+        repeats = rng.randint(*group_repeats)
+        for _ in range(repeats):
+            participants = [
+                m for m in members if rng.random() < participation
+            ]
+            if len(participants) >= 2:
+                weighted.add_team(participants)
+    return weighted

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch one type to handle every
+library-specific failure while letting genuine bugs (``TypeError`` and
+friends) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "NodeNotFoundError",
+    "EdgeNotFoundError",
+    "InvalidProbabilityError",
+    "ParameterError",
+    "DatasetError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """A structural problem with a graph (duplicate edge, self loop, ...)."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A referenced node does not exist in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """A referenced edge does not exist in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.edge = (u, v)
+
+
+class InvalidProbabilityError(GraphError, ValueError):
+    """An edge probability falls outside the half-open interval (0, 1]."""
+
+    def __init__(self, value: object) -> None:
+        super().__init__(
+            f"edge probability must satisfy 0 < p <= 1, got {value!r}"
+        )
+        self.value = value
+
+
+class ParameterError(ReproError, ValueError):
+    """An algorithm parameter (k, tau, ...) is out of its valid range."""
+
+
+class DatasetError(ReproError):
+    """A synthetic dataset could not be generated or loaded."""
+
+
+class ExperimentError(ReproError):
+    """An experiment runner was misconfigured or failed."""

@@ -1,0 +1,58 @@
+"""Experiment runners regenerating every table and figure of the paper.
+
+Each module exposes a ``run_*`` function returning an
+:class:`~repro.experiments.harness.ExperimentResult` whose rows correspond
+to the points of the paper's figure (or the rows of its table), plus a
+``render`` helper producing a text report.  The CLI (``python -m repro``)
+and the benchmark suite are thin wrappers over these runners.
+
+Index (see DESIGN.md section 3):
+
+========  =======================  ==============================
+artifact  module                   runner
+========  =======================  ==============================
+Table I   ``tables``               ``run_table1``
+Fig. 2    ``exp_dpcore``           ``run_fig2``
+Fig. 3    ``exp_enumeration``      ``run_fig3``
+Fig. 4    ``exp_pruning``          ``run_fig4``
+Fig. 5    ``exp_maximum``          ``run_fig5``
+Fig. 6    ``exp_scalability``      ``run_fig6``
+Fig. 7    ``exp_memory``           ``run_fig7``
+Fig. 8    ``exp_distributions``    ``run_fig8``
+Table II  ``exp_casestudy``        ``run_table2``
+Fig. 9    ``exp_casestudy``        ``run_fig9``
+========  =======================  ==============================
+"""
+
+from repro.experiments.harness import (
+    ExperimentResult,
+    format_table,
+    run_with_timing,
+)
+from repro.experiments.tables import run_table1
+from repro.experiments.exp_dpcore import run_fig2
+from repro.experiments.exp_enumeration import run_fig3
+from repro.experiments.exp_pruning import run_fig4
+from repro.experiments.exp_maximum import run_fig5
+from repro.experiments.exp_scalability import run_fig6
+from repro.experiments.exp_memory import run_fig7
+from repro.experiments.exp_distributions import run_fig8
+from repro.experiments.exp_casestudy import run_table2, run_fig9
+from repro.experiments.report import generate_report
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "run_with_timing",
+    "run_table1",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_table2",
+    "run_fig9",
+    "generate_report",
+]

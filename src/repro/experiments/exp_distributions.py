@@ -1,0 +1,100 @@
+"""Exp-7 / Fig. 8: effect of the edge-probability distribution.
+
+Two studies on the DBLP analog:
+
+* lambda sweep (panels a, c, e): regenerate the same weighted structure
+  with ``p = 1 - exp(-w / lambda)`` for lambda in [2, 6].  Larger lambda
+  means lower probabilities, so cores shrink and runtimes fall.
+* exponential vs uniform (panels b, d, f): identical weighted structure
+  converted once with the exponential model ("DBLP-E") and once with
+  uniform(0, 1) probabilities ("DBLP-U").  Expected shape: TopKCore prunes
+  slightly better on DBLP-E; enumeration is faster on DBLP-U (fewer
+  maximal cliques); MaxUC+ is faster on DBLP-E (bigger cliques make the
+  color bounds bite).
+"""
+
+from __future__ import annotations
+
+from repro.core.enumeration import muce_plus, muce_plus_plus
+from repro.core.ktau_core import dp_core_plus
+from repro.core.maximum import max_rds, max_uc, max_uc_plus
+from repro.core.topk_core import topk_core
+from repro.experiments.harness import (
+    ExperimentResult,
+    consume,
+    run_with_timing,
+)
+
+__all__ = ["run_fig8"]
+
+
+def run_fig8(
+    dataset: str = "dblp_like",
+    lambdas: tuple[float, ...] = (2.0, 3.0, 4.0, 5.0, 6.0),
+    k: int = 10,
+    tau: float = 0.1,
+    scale: float = 1.0,
+    include_baselines: bool = True,
+) -> ExperimentResult:
+    """Measure pruning, enumeration and maximum search across
+    probability distributions."""
+    from repro.datasets.registry import load_dataset
+
+    result = ExperimentResult(
+        "Fig. 8",
+        "effect of the edge-probability distribution",
+        group_by="panel",
+        notes=f"dataset={dataset}, scale={scale}, k={k}, tau={tau}",
+    )
+
+    # Panels (a, c, e): lambda sweep with the exponential model.
+    for lam in lambdas:
+        graph = load_dataset(dataset, scale=scale, lam=lam)
+        _measure_variant(result, graph, f"lambda={lam:g}", "lambda sweep",
+                         k, tau, include_baselines)
+
+    # Panels (b, d, f): exponential vs uniform on identical structure.
+    for label, distribution in (("DBLP-E", "exponential"),
+                                ("DBLP-U", "uniform")):
+        graph = load_dataset(dataset, scale=scale, distribution=distribution)
+        _measure_variant(result, graph, label, "E vs U", k, tau,
+                         include_baselines)
+    return result
+
+
+def _measure_variant(result, graph, variant, panel, k, tau, baselines):
+    """All three measurements (pruning / enumeration / maximum) for one
+    probability-model variant of the dataset."""
+    topk_nodes, t_topk = run_with_timing(
+        lambda: topk_core(graph, k, tau).nodes
+    )
+    ktau_nodes, t_ktau = run_with_timing(lambda: dp_core_plus(graph, k, tau))
+    result.add(
+        panel=f"pruning ({panel})",
+        variant=variant,
+        topk_core_nodes=len(topk_nodes),
+        ktau_core_nodes=len(ktau_nodes),
+        topk_seconds=t_topk,
+        dpcore_plus_seconds=t_ktau,
+    )
+
+    row = {"panel": f"enumeration ({panel})", "variant": variant}
+    count, seconds = run_with_timing(
+        lambda: consume(muce_plus_plus(graph, k, tau))
+    )
+    row["MUCE++_seconds"] = seconds
+    row["cliques"] = count
+    _, seconds = run_with_timing(lambda: consume(muce_plus(graph, k, tau)))
+    row["MUCE+_seconds"] = seconds
+    result.add(**row)
+
+    row = {"panel": f"maximum ({panel})", "variant": variant}
+    clique, seconds = run_with_timing(lambda: max_uc_plus(graph, k, tau))
+    row["MaxUC+_seconds"] = seconds
+    row["max_size"] = len(clique) if clique is not None else 0
+    if baselines:
+        _, seconds = run_with_timing(lambda: max_rds(graph, k, tau))
+        row["MaxRDS_seconds"] = seconds
+        _, seconds = run_with_timing(lambda: max_uc(graph, k, tau))
+        row["MaxUC_seconds"] = seconds
+    result.add(**row)

@@ -1,0 +1,79 @@
+"""Exp-4 / Fig. 5: runtime of MaxUC vs MaxRDS vs MaxUC+ when varying k, tau.
+
+The paper's ten panels run the three maximum-clique algorithms on all five
+datasets.  Expected shape: MaxUC+ dominates (up to two orders of magnitude
+on the larger graphs), all three agree on the maximum size, and runtimes
+fall as k or tau grows.
+"""
+
+from __future__ import annotations
+
+from repro.core.maximum import max_rds, max_uc, max_uc_plus
+from repro.experiments.harness import ExperimentResult, run_with_timing
+
+__all__ = ["run_fig5", "DEFAULT_DATASETS"]
+
+DEFAULT_DATASETS = (
+    "askubuntu_like",
+    "superuser_like",
+    "cahepth_like",
+    "wikitalk_like",
+    "dblp_like",
+)
+
+_ALGORITHMS = (
+    ("MaxUC", max_uc),
+    ("MaxRDS", max_rds),
+    ("MaxUC+", max_uc_plus),
+)
+
+
+def run_fig5(
+    datasets: tuple[str, ...] = DEFAULT_DATASETS,
+    k_values: tuple[int, ...] = (6, 8, 10, 12, 14),
+    tau_values: tuple[float, ...] = (0.01, 0.025, 0.05, 0.075, 0.1),
+    default_k: int = 10,
+    default_tau: float = 0.1,
+    scale: float = 1.0,
+    include_baselines: bool = True,
+) -> ExperimentResult:
+    """Measure the three maximum-clique algorithms over the grids."""
+    from repro.datasets.registry import load_dataset
+
+    algorithms = [
+        (label, fn)
+        for label, fn in _ALGORITHMS
+        if include_baselines or label == "MaxUC+"
+    ]
+    result = ExperimentResult(
+        "Fig. 5",
+        "maximum (k, tau)-clique search runtime",
+        group_by="dataset",
+        notes=f"scale={scale}; defaults k={default_k}, tau={default_tau}",
+    )
+    for name in datasets:
+        graph = load_dataset(name, scale=scale)
+        for k in k_values:
+            _measure_point(result, graph, name, "k", k, k, default_tau,
+                           algorithms)
+        for tau in tau_values:
+            _measure_point(result, graph, name, "tau", tau, default_k, tau,
+                           algorithms)
+    return result
+
+
+def _measure_point(result, graph, dataset, vary, value, k, tau, algorithms):
+    """One figure point: every algorithm must agree on the maximum size."""
+    sizes = {}
+    row = {"dataset": dataset, "vary": vary, "value": value}
+    for label, fn in algorithms:
+        clique, seconds = run_with_timing(lambda: fn(graph, k, tau))
+        sizes[label] = len(clique) if clique is not None else 0
+        row[f"{label}_seconds"] = seconds
+    if len(set(sizes.values())) > 1:
+        raise AssertionError(
+            f"maximum-clique algorithms disagree at {dataset} "
+            f"k={k} tau={tau}: {sizes}"
+        )
+    row["max_size"] = next(iter(sizes.values())) if sizes else 0
+    result.add(**row)

@@ -1,0 +1,98 @@
+"""Exp-6 / Fig. 7: memory overhead of the six search algorithms.
+
+The paper reports that all enumeration and maximum-search algorithms use
+memory linear in the graph size (between 1x and 2x the graph's own
+footprint), because every search is depth-first.  We measure Python heap
+allocations with :mod:`tracemalloc`: the graph's own footprint is the
+allocation delta of building a copy, each algorithm's overhead is its peak
+allocation delta while running, and the figure reports the ratio.
+
+Absolute Python numbers are incomparable to the paper's C++ megabytes;
+the reproduced claim is the *ratio* staying small and flat across
+datasets.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from typing import Callable
+
+from repro.core.enumeration import muce, muce_plus, muce_plus_plus
+from repro.core.maximum import max_rds, max_uc, max_uc_plus
+from repro.experiments.harness import ExperimentResult, consume
+from repro.uncertain.graph import UncertainGraph
+
+__all__ = ["run_fig7", "measure_peak_allocation", "graph_footprint"]
+
+
+def measure_peak_allocation(func: Callable[[], object]) -> int:
+    """Peak bytes allocated (above the start point) while running ``func``."""
+    tracemalloc.start()
+    try:
+        tracemalloc.reset_peak()
+        base, _ = tracemalloc.get_traced_memory()
+        func()
+        _, peak = tracemalloc.get_traced_memory()
+        return max(0, peak - base)
+    finally:
+        tracemalloc.stop()
+
+
+def graph_footprint(graph: UncertainGraph) -> int:
+    """Heap bytes consumed by one copy of the graph's adjacency storage."""
+    tracemalloc.start()
+    try:
+        base, _ = tracemalloc.get_traced_memory()
+        clone = graph.copy()
+        current, _ = tracemalloc.get_traced_memory()
+        footprint = max(1, current - base)
+        del clone
+        return footprint
+    finally:
+        tracemalloc.stop()
+
+
+_ENUM_ALGOS = (("MUCE", muce), ("MUCE+", muce_plus), ("MUCE++", muce_plus_plus))
+_MAX_ALGOS = (("MaxUC", max_uc), ("MaxRDS", max_rds), ("MaxUC+", max_uc_plus))
+
+
+def run_fig7(
+    datasets: tuple[str, ...] = (
+        "askubuntu_like",
+        "superuser_like",
+        "cahepth_like",
+        "wikitalk_like",
+        "dblp_like",
+    ),
+    k: int = 10,
+    tau: float = 0.1,
+    scale: float = 1.0,
+    include_baselines: bool = True,
+) -> ExperimentResult:
+    """Measure peak-allocation ratios of all six search algorithms."""
+    from repro.datasets.registry import load_dataset
+
+    result = ExperimentResult(
+        "Fig. 7",
+        "memory overhead relative to the graph footprint",
+        group_by="dataset",
+        notes=f"scale={scale}, k={k}, tau={tau}; ratios vs graph bytes",
+    )
+    for name in datasets:
+        graph = load_dataset(name, scale=scale)
+        footprint = graph_footprint(graph)
+        row = {"dataset": name, "graph_bytes": footprint}
+        for label, fn in _ENUM_ALGOS:
+            if not include_baselines and label == "MUCE":
+                continue
+            peak = measure_peak_allocation(
+                lambda: consume(fn(graph, k, tau))
+            )
+            row[f"{label}_ratio"] = peak / footprint
+        for label, fn in _MAX_ALGOS:
+            if not include_baselines and label != "MaxUC+":
+                continue
+            peak = measure_peak_allocation(lambda: fn(graph, k, tau))
+            row[f"{label}_ratio"] = peak / footprint
+        result.add(**row)
+    return result

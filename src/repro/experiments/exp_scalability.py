@@ -1,0 +1,116 @@
+"""Exp-5 / Fig. 6: scalability on node/edge samples of WikiTalk.
+
+The paper samples 20%-100% of WikiTalk's nodes (resp. edges) and measures
+every algorithm on the induced (resp. partial) subgraphs.  Panels: (a)-(b)
+the core algorithms, (c)-(d) the enumerators, (e)-(f) maximum search.
+Expected shape: the improved algorithms grow smoothly; baselines grow
+sharply.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.enumeration import muce, muce_plus, muce_plus_plus
+from repro.core.ktau_core import dp_core, dp_core_plus
+from repro.core.maximum import max_rds, max_uc, max_uc_plus
+from repro.experiments.harness import (
+    ExperimentResult,
+    consume,
+    run_with_timing,
+)
+from repro.uncertain.graph import UncertainGraph
+
+__all__ = ["run_fig6", "sample_nodes", "sample_edges"]
+
+
+def sample_nodes(
+    graph: UncertainGraph, fraction: float, seed: int = 0
+) -> UncertainGraph:
+    """Induced subgraph on a uniform ``fraction`` of the nodes."""
+    rng = random.Random(seed)
+    nodes = graph.nodes()
+    count = max(1, int(len(nodes) * fraction))
+    keep = rng.sample(nodes, count)
+    return graph.induced_subgraph(keep)
+
+
+def sample_edges(
+    graph: UncertainGraph, fraction: float, seed: int = 0
+) -> UncertainGraph:
+    """Subgraph keeping a uniform ``fraction`` of the edges (all nodes)."""
+    rng = random.Random(seed)
+    edges = list(graph.edges())
+    count = max(0, int(len(edges) * fraction))
+    keep = rng.sample(edges, count)
+    return UncertainGraph(edges=keep, nodes=graph.nodes())
+
+
+_CORE_ALGOS = (("DPCore", dp_core), ("DPCore+", dp_core_plus))
+_ENUM_ALGOS = (("MUCE", muce), ("MUCE+", muce_plus), ("MUCE++", muce_plus_plus))
+_MAX_ALGOS = (("MaxUC", max_uc), ("MaxRDS", max_rds), ("MaxUC+", max_uc_plus))
+
+
+def run_fig6(
+    dataset: str = "wikitalk_like",
+    fractions: tuple[float, ...] = (0.2, 0.4, 0.6, 0.8, 1.0),
+    k: int = 10,
+    tau: float = 0.1,
+    scale: float = 1.0,
+    seed: int = 0,
+    include_baselines: bool = True,
+) -> ExperimentResult:
+    """Measure all nine algorithms on node and edge samples."""
+    from repro.datasets.registry import load_dataset
+
+    graph = load_dataset(dataset, scale=scale)
+    result = ExperimentResult(
+        "Fig. 6",
+        "scalability on node/edge samples",
+        group_by="panel",
+        notes=f"dataset={dataset}, scale={scale}, k={k}, tau={tau}",
+    )
+    samplers = (("|V|", sample_nodes), ("|E|", sample_edges))
+    for sample_kind, sampler in samplers:
+        for fraction in fractions:
+            sub = (
+                graph
+                if fraction >= 1.0
+                else sampler(graph, fraction, seed=seed)
+            )
+            _measure_cores(result, sub, sample_kind, fraction, k, tau)
+            _measure_enum(result, sub, sample_kind, fraction, k, tau,
+                          include_baselines)
+            _measure_max(result, sub, sample_kind, fraction, k, tau,
+                         include_baselines)
+    return result
+
+
+def _measure_cores(result, sub, sample_kind, fraction, k, tau):
+    row = {"panel": f"cores vs {sample_kind}", "fraction": fraction}
+    for label, fn in _CORE_ALGOS:
+        _, seconds = run_with_timing(lambda: fn(sub, k, tau))
+        row[f"{label}_seconds"] = seconds
+    result.add(**row)
+
+
+def _measure_enum(result, sub, sample_kind, fraction, k, tau, baselines):
+    row = {"panel": f"enumeration vs {sample_kind}", "fraction": fraction}
+    for label, fn in _ENUM_ALGOS:
+        if not baselines and label == "MUCE":
+            continue
+        count, seconds = run_with_timing(lambda: consume(fn(sub, k, tau)))
+        row[f"{label}_seconds"] = seconds
+        row["cliques"] = count
+    result.add(**row)
+
+
+def _measure_max(result, sub, sample_kind, fraction, k, tau, baselines):
+    row = {"panel": f"maximum vs {sample_kind}", "fraction": fraction}
+    for label, fn in _MAX_ALGOS:
+        if not baselines and label != "MaxUC+":
+            continue
+        clique, seconds = run_with_timing(lambda: fn(sub, k, tau))
+        row[f"{label}_seconds"] = seconds
+        row["max_size"] = len(clique) if clique is not None else 0
+    result.add(**row)

@@ -1,0 +1,143 @@
+"""Shared experiment-harness plumbing.
+
+Every experiment runner produces an :class:`ExperimentResult`: a flat list
+of row dicts (one per measured point) plus metadata.  The harness renders
+results as aligned text tables — the library's stand-in for the paper's
+log-scale plots — grouped the way the figure panels group them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import ExperimentError
+
+__all__ = ["ExperimentResult", "format_table", "run_with_timing"]
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one regenerated table/figure.
+
+    ``rows`` is a list of dicts sharing a column set; ``group_by`` names
+    the column whose values split the output into panels (e.g. one panel
+    per dataset, as in Fig. 3).
+    """
+
+    experiment_id: str
+    title: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    group_by: str | None = None
+    notes: str = ""
+
+    def add(self, **row: Any) -> None:
+        """Append one measured point."""
+        self.rows.append(row)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        return [row[name] for row in self.rows]
+
+    def filtered(self, **criteria: Any) -> list[dict[str, Any]]:
+        """Rows matching all ``column=value`` criteria."""
+        return [
+            row
+            for row in self.rows
+            if all(row.get(col) == val for col, val in criteria.items())
+        ]
+
+    def render(self) -> str:
+        """Text report: a header plus one aligned table per panel."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.notes:
+            lines.append(self.notes)
+        if not self.rows:
+            lines.append("(no rows)")
+            return "\n".join(lines)
+        if self.group_by is None:
+            lines.append(format_table(self.rows))
+        else:
+            seen: list[Any] = []
+            for row in self.rows:
+                value = row.get(self.group_by)
+                if value not in seen:
+                    seen.append(value)
+            for value in seen:
+                lines.append(f"-- {self.group_by} = {value} --")
+                panel_rows = [
+                    {k: v for k, v in row.items() if k != self.group_by}
+                    for row in self.rows
+                    if row.get(self.group_by) == value
+                ]
+                lines.append(format_table(panel_rows))
+        return "\n".join(lines)
+
+
+def _format_cell(value: Any) -> str:
+    """Human-friendly cell formatting (floats to 4 significant digits)."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[dict[str, Any]]) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return "(empty)"
+    headers = list(rows[0])
+    for row in rows[1:]:
+        for key in row:
+            if key not in headers:
+                headers.append(key)
+    cells = [
+        [_format_cell(row.get(h, "")) for h in headers] for row in rows
+    ]
+    widths = [
+        max(len(h), *(len(line[i]) for line in cells))
+        for i, h in enumerate(headers)
+    ]
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    separator = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(cell.ljust(w) for cell, w in zip(line, widths))
+        for line in cells
+    ]
+    return "\n".join([header_line, separator, *body])
+
+
+def run_with_timing(
+    func: Callable[[], Any], repeats: int = 1
+) -> tuple[Any, float]:
+    """Run ``func`` ``repeats`` times; return (last result, best seconds).
+
+    Taking the best of several runs is the standard way to suppress
+    scheduler noise when the measured times are small.
+    """
+    if repeats < 1:
+        raise ExperimentError(f"repeats must be >= 1, got {repeats}")
+    best = float("inf")
+    result: Any = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = func()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return result, best
+
+
+def consume(iterable: Iterable[Any]) -> int:
+    """Drain an iterator, returning the number of items (for timing
+    enumeration algorithms without storing their output)."""
+    count = 0
+    for _ in iterable:
+        count += 1
+    return count

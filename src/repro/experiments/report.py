@@ -1,0 +1,150 @@
+"""Combined reproduction report.
+
+Runs every experiment and assembles one markdown document with a section
+per table/figure — the machine-generated companion to the hand-written
+EXPERIMENTS.md.  Exposed on the CLI as ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+import time
+from typing import Callable
+
+from repro.experiments.harness import ExperimentResult
+
+__all__ = ["generate_report", "REPORT_SECTIONS"]
+
+#: (section title, paper claim, runner factory) per artifact.
+REPORT_SECTIONS: tuple[tuple[str, str], ...] = (
+    ("table1", "dataset statistics (n, m, d_max, degeneracy)"),
+    ("fig2", "DPCore+ beats DPCore everywhere; largest gap where "
+             "d_max >> degeneracy"),
+    ("fig3", "MUCE+ beats MUCE, MUCE++ beats MUCE+; runtime falls "
+             "with k and tau"),
+    ("fig4", "(Top_k, tau)-core prunes far more than the (k, tau)-core "
+             "at comparable cost"),
+    ("fig5", "MaxUC+ beats MaxRDS beats MaxUC; all agree on the size"),
+    ("fig6", "improved algorithms scale smoothly with |V| and |E|"),
+    ("fig7", "all searches use memory linear in the graph size"),
+    ("fig8", "larger lambda shrinks cores and speeds enumeration; "
+             "uniform vs exponential changes pruning behaviour"),
+    ("table2", "maximal (k, tau)-cliques detect protein complexes far "
+               "more precisely than clustering baselines"),
+    ("fig9", "case-study precision is robust to k and tau"),
+)
+
+
+def _markdown_table(result: ExperimentResult) -> str:
+    """Render an ExperimentResult's rows as one or more markdown tables."""
+    if not result.rows:
+        return "_(no rows)_"
+    blocks: list[str] = []
+    if result.group_by is None:
+        groups: list[tuple[str | None, list[dict]]] = [(None, result.rows)]
+    else:
+        seen: dict = {}
+        for row in result.rows:
+            seen.setdefault(row.get(result.group_by), []).append(row)
+        groups = [
+            (
+                f"{result.group_by} = {value}",
+                [
+                    {k: v for k, v in row.items() if k != result.group_by}
+                    for row in rows
+                ],
+            )
+            for value, rows in seen.items()
+        ]
+    for title, rows in groups:
+        headers = list(rows[0])
+        lines = []
+        if title:
+            lines.append(f"**{title}**")
+            lines.append("")
+        lines.append("| " + " | ".join(headers) + " |")
+        lines.append("|" + "---|" * len(headers))
+        for row in rows:
+            cells = []
+            for h in headers:
+                value = row.get(h, "")
+                if isinstance(value, float):
+                    cells.append(f"{value:.4g}")
+                else:
+                    cells.append(str(value))
+            lines.append("| " + " | ".join(cells) + " |")
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
+def generate_report(
+    scale: float = 0.25,
+    include_baselines: bool = True,
+    runners: dict[str, Callable[..., ExperimentResult]] | None = None,
+) -> str:
+    """Run every experiment and return a markdown reproduction report."""
+    if runners is None:
+        from repro.experiments import (
+            run_fig2,
+            run_fig3,
+            run_fig4,
+            run_fig5,
+            run_fig6,
+            run_fig7,
+            run_fig8,
+            run_fig9,
+            run_table1,
+            run_table2,
+        )
+
+        runners = {
+            "table1": lambda: run_table1(scale=scale),
+            "fig2": lambda: run_fig2(scale=scale),
+            "fig3": lambda: run_fig3(
+                scale=scale, include_baseline=include_baselines
+            ),
+            "fig4": lambda: run_fig4(scale=scale),
+            "fig5": lambda: run_fig5(
+                scale=scale, include_baselines=include_baselines
+            ),
+            "fig6": lambda: run_fig6(
+                scale=scale, include_baselines=include_baselines
+            ),
+            "fig7": lambda: run_fig7(
+                scale=scale, include_baselines=include_baselines
+            ),
+            "fig8": lambda: run_fig8(
+                scale=scale, include_baselines=include_baselines
+            ),
+            "table2": lambda: run_table2(scale=scale),
+            "fig9": lambda: run_fig9(scale=scale),
+        }
+
+    lines = [
+        "# Reproduction report",
+        "",
+        f"- python: {sys.version.split()[0]} on {platform.platform()}",
+        f"- dataset scale: {scale}",
+        f"- baselines included: {include_baselines}",
+        f"- generated: deterministic seeds; timings are wall-clock",
+        "",
+    ]
+    for key, claim in REPORT_SECTIONS:
+        runner = runners.get(key)
+        if runner is None:
+            continue
+        start = time.perf_counter()
+        result = runner()
+        elapsed = time.perf_counter() - start
+        lines.append(f"## {result.experiment_id} — {result.title}")
+        lines.append("")
+        lines.append(f"*Paper claim:* {claim}.")
+        if result.notes:
+            lines.append(f"*Configuration:* {result.notes}.")
+        lines.append("")
+        lines.append(_markdown_table(result))
+        lines.append("")
+        lines.append(f"_(section generated in {elapsed:.1f}s)_")
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,274 @@
+"""The :class:`UncertainGraph` data structure.
+
+An uncertain graph ``G = (V, E, p)`` is an undirected simple graph whose
+edges carry independent existence probabilities ``p : E -> (0, 1]``
+(Section II of the paper).  The class below is the substrate every algorithm
+in :mod:`repro.core` operates on.
+
+Design notes
+------------
+* Nodes may be any hashable object; the synthetic datasets use ints.
+* Storage is a dict-of-dicts adjacency map ``{u: {v: p_uv}}`` — the natural
+  fit for the peeling algorithms, which interleave neighbor iteration with
+  edge deletion.
+* Self loops are rejected: a clique probability only involves edges between
+  *distinct* nodes, and every referenced model (k-core, coloring,
+  Bron-Kerbosch) assumes simple graphs.
+* Mutators keep both endpoints' adjacency entries in sync, so the invariant
+  ``v in adj[u] <=> u in adj[v]`` (with equal probability) always holds.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping
+
+from repro.errors import EdgeNotFoundError, GraphError, NodeNotFoundError
+from repro.utils.validation import validate_probability
+
+Node = Hashable
+
+__all__ = ["UncertainGraph", "Node"]
+
+
+class UncertainGraph:
+    """An undirected simple graph with an existence probability per edge.
+
+    Example::
+
+        g = UncertainGraph()
+        g.add_edge("a", "b", 0.9)
+        g.add_edge("b", "c", 0.5)
+        g.probability("a", "b")      # 0.9
+        sorted(g.neighbors("b"))     # ["a", "c"]
+    """
+
+    __slots__ = ("_adj", "_num_edges")
+
+    def __init__(
+        self,
+        edges: Iterable[tuple[Node, Node, float]] | None = None,
+        nodes: Iterable[Node] | None = None,
+    ) -> None:
+        """Create a graph, optionally from ``(u, v, p)`` triples.
+
+        ``nodes`` adds isolated nodes in addition to edge endpoints.
+        """
+        self._adj: dict[Node, dict[Node, float]] = {}
+        self._num_edges = 0
+        if nodes is not None:
+            for node in nodes:
+                self.add_node(node)
+        if edges is not None:
+            for u, v, p in edges:
+                self.add_edge(u, v, p)
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """``n = |V|``."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """``m = |E|``."""
+        return self._num_edges
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adj
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._adj)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(num_nodes={self.num_nodes}, "
+            f"num_edges={self.num_edges})"
+        )
+
+    def nodes(self) -> list[Node]:
+        """All nodes, in insertion order."""
+        return list(self._adj)
+
+    def edges(self) -> Iterator[tuple[Node, Node, float]]:
+        """Yield each edge exactly once as ``(u, v, p)``.
+
+        The edge is reported from the endpoint that was inserted first.
+        """
+        seen: set[Node] = set()
+        for u, nbrs in self._adj.items():
+            for v, p in nbrs.items():
+                if v not in seen:
+                    yield (u, v, p)
+            seen.add(u)
+
+    def has_node(self, node: Node) -> bool:
+        """Whether ``node`` is in the graph."""
+        return node in self._adj
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Whether the undirected edge ``(u, v)`` is in the graph."""
+        nbrs = self._adj.get(u)
+        return nbrs is not None and v in nbrs
+
+    def probability(self, u: Node, v: Node) -> float:
+        """Existence probability of edge ``(u, v)``.
+
+        Raises :class:`EdgeNotFoundError` if the edge is absent.
+        """
+        try:
+            return self._adj[u][v]
+        except KeyError:
+            raise EdgeNotFoundError(u, v) from None
+
+    def neighbors(self, node: Node) -> Iterator[Node]:
+        """Iterate over the neighbors of ``node``."""
+        try:
+            return iter(self._adj[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def incident(self, node: Node) -> Mapping[Node, float]:
+        """Read-only view of ``{neighbor: probability}`` for ``node``.
+
+        This is the hot path for the DP algorithms; callers must not mutate
+        the returned mapping.
+        """
+        try:
+            return self._adj[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def degree(self, node: Node) -> int:
+        """Degree of ``node`` in the deterministic graph ``~G``."""
+        try:
+            return len(self._adj[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def max_degree(self) -> int:
+        """``d_max`` of the deterministic graph (0 for an empty graph)."""
+        if not self._adj:
+            return 0
+        return max(len(nbrs) for nbrs in self._adj.values())
+
+    # ------------------------------------------------------------------
+    # Mutators
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        """Add an isolated node (no-op if it already exists)."""
+        self._adj.setdefault(node, {})
+
+    def add_edge(self, u: Node, v: Node, p: float) -> None:
+        """Add edge ``(u, v)`` with probability ``p`` in ``(0, 1]``.
+
+        Endpoints are created on demand.  Re-adding an existing edge
+        raises :class:`GraphError` — silently overwriting a probability is
+        almost always a dataset-generation bug; use :meth:`set_probability`
+        to update deliberately.
+        """
+        if u == v:
+            raise GraphError(f"self loops are not allowed (node {u!r})")
+        p = validate_probability(p)
+        u_nbrs = self._adj.setdefault(u, {})
+        if v in u_nbrs:
+            raise GraphError(f"edge ({u!r}, {v!r}) already exists")
+        v_nbrs = self._adj.setdefault(v, {})
+        u_nbrs[v] = p
+        v_nbrs[u] = p
+        self._num_edges += 1
+
+    def set_probability(self, u: Node, v: Node, p: float) -> None:
+        """Update the probability of an existing edge."""
+        p = validate_probability(p)
+        if not self.has_edge(u, v):
+            raise EdgeNotFoundError(u, v)
+        self._adj[u][v] = p
+        self._adj[v][u] = p
+
+    def remove_edge(self, u: Node, v: Node) -> float:
+        """Remove edge ``(u, v)`` and return its probability."""
+        try:
+            p = self._adj[u].pop(v)
+        except KeyError:
+            raise EdgeNotFoundError(u, v) from None
+        del self._adj[v][u]
+        self._num_edges -= 1
+        return p
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and all incident edges."""
+        try:
+            nbrs = self._adj.pop(node)
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+        for v in nbrs:
+            del self._adj[v][node]
+        self._num_edges -= len(nbrs)
+
+    def remove_nodes(self, nodes: Iterable[Node]) -> None:
+        """Remove several nodes (each must exist)."""
+        for node in list(nodes):
+            self.remove_node(node)
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "UncertainGraph":
+        """Deep copy (independent adjacency maps)."""
+        clone = UncertainGraph()
+        clone._adj = {u: dict(nbrs) for u, nbrs in self._adj.items()}
+        clone._num_edges = self._num_edges
+        return clone
+
+    def induced_subgraph(self, nodes: Iterable[Node]) -> "UncertainGraph":
+        """The uncertain subgraph induced by ``nodes`` (Section II).
+
+        Unknown nodes raise :class:`NodeNotFoundError`.
+        """
+        keep = set(nodes)
+        for node in keep:
+            if node not in self._adj:
+                raise NodeNotFoundError(node)
+        sub = UncertainGraph()
+        sub._adj = {
+            u: {v: p for v, p in self._adj[u].items() if v in keep}
+            for u in keep
+        }
+        sub._num_edges = sum(len(nbrs) for nbrs in sub._adj.values()) // 2
+        return sub
+
+    def deterministic_edges(self) -> Iterator[tuple[Node, Node]]:
+        """Edges of the deterministic graph ``~G`` (probabilities dropped)."""
+        for u, v, _ in self.edges():
+            yield (u, v)
+
+    # ------------------------------------------------------------------
+    # Comparisons
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UncertainGraph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("UncertainGraph is mutable and unhashable")
+
+    def is_subgraph_of(self, other: "UncertainGraph") -> bool:
+        """Whether every node and edge (with equal probability) is in ``other``."""
+        for u, nbrs in self._adj.items():
+            if u not in other._adj:
+                return False
+            other_nbrs = other._adj[u]
+            for v, p in nbrs.items():
+                if other_nbrs.get(v) != p:
+                    return False
+        return True

@@ -1,0 +1,189 @@
+"""Possible-world semantics for uncertain graphs (Section II, Eq. 1).
+
+A possible world of ``G = (V, E, p)`` is a deterministic graph on the same
+node set whose edge set is a subset of ``E``; its probability is the product
+of ``p_e`` over present edges times ``(1 - p_e)`` over absent ones.
+
+This module provides
+
+* exact enumeration of all ``2^m`` worlds (small graphs only) — the ground
+  truth used by the test suite to validate ``CPr`` and the tau-degree DPs;
+* Monte-Carlo sampling of worlds and a sampling estimator of the clique
+  probability;
+* the exact per-node degree distribution ``Pr(d_u(G) = i)`` computed by
+  direct convolution, an independent oracle for both DP algorithms.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import ParameterError
+from repro.uncertain.graph import Node, UncertainGraph
+
+__all__ = [
+    "PossibleWorld",
+    "world_probability",
+    "enumerate_possible_worlds",
+    "sample_possible_world",
+    "sample_possible_worlds",
+    "estimate_clique_probability",
+    "exact_degree_distribution",
+]
+
+#: Refuse exact enumeration beyond this many edges (2^24 worlds ~ 16M).
+_MAX_EXACT_EDGES = 24
+
+
+@dataclass(frozen=True)
+class PossibleWorld:
+    """One deterministic instantiation of an uncertain graph.
+
+    ``edges`` holds the sampled/selected edges as frozensets ``{u, v}``;
+    ``probability`` is ``Pr(G)`` per Eq. (1).
+    """
+
+    nodes: tuple[Node, ...]
+    edges: frozenset[frozenset]
+    probability: float
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Whether the undirected edge ``(u, v)`` exists in this world."""
+        return frozenset((u, v)) in self.edges
+
+    def degree(self, node: Node) -> int:
+        """Degree of ``node`` in this world."""
+        return sum(1 for edge in self.edges if node in edge)
+
+    def is_clique(self, nodes: Iterable[Node]) -> bool:
+        """Whether ``nodes`` form a clique in this world."""
+        members = list(dict.fromkeys(nodes))
+        return all(
+            self.has_edge(u, v)
+            for i, u in enumerate(members)
+            for v in members[i + 1 :]
+        )
+
+
+def world_probability(
+    graph: UncertainGraph, present_edges: Iterable[tuple[Node, Node]]
+) -> float:
+    """``Pr(G)`` of the world whose edge set is ``present_edges`` (Eq. 1)."""
+    present = {frozenset(e) for e in present_edges}
+    prob = 1.0
+    for u, v, p in graph.edges():
+        if frozenset((u, v)) in present:
+            prob *= p
+        else:
+            prob *= 1.0 - p
+    return prob
+
+
+def enumerate_possible_worlds(
+    graph: UncertainGraph,
+) -> Iterator[PossibleWorld]:
+    """Yield every possible world of ``graph`` with its probability.
+
+    There are ``2^m`` worlds; graphs with more than 24 edges are rejected to
+    protect callers from accidental exponential blow-ups.
+    """
+    if graph.num_edges > _MAX_EXACT_EDGES:
+        raise ParameterError(
+            f"exact world enumeration needs <= {_MAX_EXACT_EDGES} edges, "
+            f"graph has {graph.num_edges}"
+        )
+    edge_list = list(graph.edges())
+    nodes = tuple(graph.nodes())
+    for mask in itertools.product((False, True), repeat=len(edge_list)):
+        prob = 1.0
+        present = []
+        for keep, (u, v, p) in zip(mask, edge_list):
+            if keep:
+                prob *= p
+                present.append(frozenset((u, v)))
+            else:
+                prob *= 1.0 - p
+        yield PossibleWorld(nodes, frozenset(present), prob)
+
+
+def sample_possible_world(
+    graph: UncertainGraph, rng: random.Random | None = None
+) -> PossibleWorld:
+    """Draw one world by flipping an independent coin per edge."""
+    rng = rng or random.Random()
+    present = []
+    prob = 1.0
+    for u, v, p in graph.edges():
+        if rng.random() < p:
+            present.append(frozenset((u, v)))
+            prob *= p
+        else:
+            prob *= 1.0 - p
+    return PossibleWorld(tuple(graph.nodes()), frozenset(present), prob)
+
+
+def sample_possible_worlds(
+    graph: UncertainGraph, count: int, seed: int | None = None
+) -> Iterator[PossibleWorld]:
+    """Yield ``count`` independent sampled worlds (seeded for replay)."""
+    if count < 0:
+        raise ParameterError(f"count must be non-negative, got {count}")
+    rng = random.Random(seed)
+    for _ in range(count):
+        yield sample_possible_world(graph, rng)
+
+
+def estimate_clique_probability(
+    graph: UncertainGraph,
+    nodes: Sequence[Node],
+    samples: int = 10_000,
+    seed: int | None = None,
+) -> float:
+    """Monte-Carlo estimate of ``CPr(nodes)``.
+
+    Rather than sampling whole worlds, only the edges inside ``nodes``
+    matter, so we sample those: the estimator is the fraction of trials in
+    which every internal edge of the candidate clique materialises.
+    Used to sanity-check the closed-form product on larger cliques.
+    """
+    if samples <= 0:
+        raise ParameterError(f"samples must be positive, got {samples}")
+    members = list(dict.fromkeys(nodes))
+    probs = []
+    for i, u in enumerate(members):
+        incident = graph.incident(u)
+        for v in members[i + 1 :]:
+            p = incident.get(v)
+            if p is None:
+                return 0.0  # not a clique in ~G: never a clique in any world
+            probs.append(p)
+    rng = random.Random(seed)
+    hits = 0
+    for _ in range(samples):
+        if all(rng.random() < p for p in probs):
+            hits += 1
+    return hits / samples
+
+
+def exact_degree_distribution(
+    graph: UncertainGraph, node: Node
+) -> list[float]:
+    """Exact ``[Pr(d_u = 0), ..., Pr(d_u = d_u(~G))]`` by convolution.
+
+    Each incident edge contributes an independent Bernoulli; the degree
+    distribution is their convolution.  This is mathematically the same
+    recurrence as the paper's Eq. (3) but implemented independently (single
+    rolling array, no truncation), which makes it a useful oracle for both
+    DP implementations in :mod:`repro.core.tau_degree`.
+    """
+    dist = [1.0]
+    for p in graph.incident(node).values():
+        nxt = [0.0] * (len(dist) + 1)
+        for i, mass in enumerate(dist):
+            nxt[i] += mass * (1.0 - p)
+            nxt[i + 1] += mass * p
+        dist = nxt
+    return dist

@@ -1,0 +1,92 @@
+"""Transformations of uncertain graphs.
+
+What-if tooling around the core model: threshold filtering (a common
+pre-processing in the uncertain-graph literature), probability rescaling,
+and *conditioning* — the graph's distribution given that a particular edge
+is known to exist or not exist.  Conditioning composes with every
+algorithm in the library: e.g. ``CPr(C | e present)`` is just
+``clique_probability(condition_on_edge(g, u, v, present=True), C)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import EdgeNotFoundError, ParameterError
+from repro.uncertain.graph import Node, UncertainGraph
+from repro.utils.validation import validate_probability
+
+__all__ = [
+    "filter_edges",
+    "threshold_filter",
+    "rescale_probabilities",
+    "condition_on_edge",
+]
+
+
+def filter_edges(
+    graph: UncertainGraph,
+    predicate: Callable[[Node, Node, float], bool],
+) -> UncertainGraph:
+    """A new graph keeping exactly the edges where ``predicate`` is true.
+
+    All nodes are preserved (possibly becoming isolated).
+    """
+    result = UncertainGraph(nodes=graph.nodes())
+    for u, v, p in graph.edges():
+        if predicate(u, v, p):
+            result.add_edge(u, v, p)
+    return result
+
+
+def threshold_filter(
+    graph: UncertainGraph, min_probability: float
+) -> UncertainGraph:
+    """Drop every edge with probability below ``min_probability``.
+
+    A standard crude alternative to probabilistic mining: thresholding
+    then running deterministic algorithms.  Provided mainly so examples
+    and studies can contrast it with the exact (k, tau) semantics.
+    """
+    if not 0.0 <= min_probability <= 1.0:
+        raise ParameterError(
+            f"min_probability must be in [0, 1], got {min_probability}"
+        )
+    return filter_edges(graph, lambda u, v, p: p >= min_probability)
+
+
+def rescale_probabilities(
+    graph: UncertainGraph, factor: float
+) -> UncertainGraph:
+    """Multiply every edge probability by ``factor`` (clamped to 1.0).
+
+    Useful for sensitivity studies ("how do the cliques change if all
+    confidences drop 20%?").  ``factor`` must be positive; results are
+    clamped into (0, 1].
+    """
+    if factor <= 0:
+        raise ParameterError(f"factor must be positive, got {factor}")
+    result = UncertainGraph(nodes=graph.nodes())
+    for u, v, p in graph.edges():
+        result.add_edge(u, v, validate_probability(min(1.0, p * factor)))
+    return result
+
+
+def condition_on_edge(
+    graph: UncertainGraph, u: Node, v: Node, present: bool
+) -> UncertainGraph:
+    """The graph's distribution conditioned on edge ``(u, v)``.
+
+    Edges are independent, so conditioning only touches the one edge:
+    given *present*, its probability becomes 1; given *absent*, the edge
+    is removed.  The returned graph's possible-world distribution is
+    exactly the conditional distribution of the input's.
+    """
+    if not graph.has_edge(u, v):
+        raise EdgeNotFoundError(u, v)
+    result = graph.copy()
+    if present:
+        result.set_probability(u, v, 1.0)
+    else:
+        result.remove_edge(u, v)
+    return result

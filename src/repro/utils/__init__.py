@@ -1,0 +1,22 @@
+"""Small shared utilities: validation, timing and float tolerance."""
+
+from repro.utils.validation import (
+    FLOAT_EPS,
+    prob_at_least,
+    prob_below,
+    validate_k,
+    validate_probability,
+    validate_tau,
+)
+from repro.utils.timing import Stopwatch, timed
+
+__all__ = [
+    "FLOAT_EPS",
+    "prob_at_least",
+    "prob_below",
+    "validate_k",
+    "validate_probability",
+    "validate_tau",
+    "Stopwatch",
+    "timed",
+]

@@ -1,0 +1,71 @@
+"""Wall-clock timing helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["Stopwatch", "timed"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    Used by experiment runners to attribute time to individual phases
+    (pruning, enumeration, ...) the way the paper's figures break it down.
+
+    Example::
+
+        watch = Stopwatch()
+        with watch.lap("prune"):
+            core = topk_core(graph, k, tau)
+        with watch.lap("enumerate"):
+            cliques = list(mucepp(graph, k, tau))
+        watch.seconds("prune")
+    """
+
+    laps: dict[str, float] = field(default_factory=dict)
+
+    def lap(self, name: str) -> "_Lap":
+        """Return a context manager accumulating elapsed time under ``name``."""
+        return _Lap(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Add ``seconds`` to the lap called ``name``."""
+        self.laps[name] = self.laps.get(name, 0.0) + seconds
+
+    def seconds(self, name: str) -> float:
+        """Total seconds recorded under ``name`` (0.0 if never recorded)."""
+        return self.laps.get(name, 0.0)
+
+    @property
+    def total(self) -> float:
+        """Sum of all laps."""
+        return sum(self.laps.values())
+
+
+class _Lap:
+    """Context manager created by :meth:`Stopwatch.lap`."""
+
+    def __init__(self, watch: Stopwatch, name: str) -> None:
+        self._watch = watch
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Lap":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._watch.add(self._name, time.perf_counter() - self._start)
+
+
+def timed(func: Callable[..., T], *args: Any, **kwargs: Any) -> tuple[T, float]:
+    """Call ``func`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - start

@@ -1,0 +1,80 @@
+"""Parameter validation and tolerant floating-point threshold tests.
+
+Clique probabilities are products of up to a few hundred edge probabilities.
+Different evaluation orders (incremental maintenance in the backtracking
+search versus a fresh product in the brute-force oracle) can disagree in the
+last few ulps, which would make a knife-edge clique appear in one algorithm's
+output but not another's.  Every ``probability >= tau`` style comparison in
+the library therefore goes through :func:`prob_at_least` /
+:func:`prob_below`, which apply a small relative tolerance, so all code paths
+share one consistent notion of "at least tau".
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidProbabilityError, ParameterError
+
+#: Relative tolerance used by every probability-threshold comparison.
+FLOAT_EPS = 1e-9
+
+__all__ = [
+    "FLOAT_EPS",
+    "prob_at_least",
+    "prob_below",
+    "validate_k",
+    "validate_probability",
+    "validate_tau",
+]
+
+
+def prob_at_least(value: float, threshold: float) -> bool:
+    """Return ``True`` when ``value >= threshold`` up to ``FLOAT_EPS``.
+
+    The tolerance is relative to the threshold, so it behaves sensibly for
+    thresholds anywhere in ``(0, 1]``.
+    """
+    return value >= threshold - FLOAT_EPS * threshold
+
+
+def prob_below(value: float, threshold: float) -> bool:
+    """Return ``True`` when ``value < threshold`` up to ``FLOAT_EPS``.
+
+    Exact negation of :func:`prob_at_least` for identical arguments, so a
+    peeling rule and its correctness check can never disagree.
+    """
+    return not prob_at_least(value, threshold)
+
+
+def validate_probability(p: float) -> float:
+    """Check that ``p`` is a valid edge probability in ``(0, 1]``.
+
+    Returns ``p`` as a ``float`` so callers can validate-and-store in one
+    expression.  Raises :class:`InvalidProbabilityError` otherwise.
+    """
+    try:
+        value = float(p)
+    except (TypeError, ValueError) as exc:
+        raise InvalidProbabilityError(p) from exc
+    if not 0.0 < value <= 1.0:
+        raise InvalidProbabilityError(p)
+    return value
+
+
+def validate_k(k: int) -> int:
+    """Check that ``k`` is a non-negative integer clique-size parameter."""
+    if isinstance(k, bool) or not isinstance(k, int):
+        raise ParameterError(f"k must be an int, got {k!r}")
+    if k < 0:
+        raise ParameterError(f"k must be non-negative, got {k}")
+    return k
+
+
+def validate_tau(tau: float) -> float:
+    """Check that ``tau`` is a probability threshold in ``(0, 1]``."""
+    try:
+        value = float(tau)
+    except (TypeError, ValueError) as exc:
+        raise ParameterError(f"tau must be a number, got {tau!r}") from exc
+    if not 0.0 < value <= 1.0:
+        raise ParameterError(f"tau must satisfy 0 < tau <= 1, got {tau}")
+    return value

@@ -1,0 +1,90 @@
+"""Unit tests for the USCAN-like and PCluster-like baselines."""
+
+import pytest
+
+from repro import UncertainGraph
+from repro.casestudy import pcluster_clusters, uscan_clusters
+from repro.casestudy.uscan import expected_structural_similarity
+from repro.datasets import ppi_network
+from repro.errors import ParameterError
+from tests.conftest import make_clique
+
+
+class TestStructuralSimilarity:
+    def test_non_adjacent_is_zero(self, path_graph):
+        assert expected_structural_similarity(path_graph, 0, 2) == 0.0
+
+    def test_symmetric(self, two_groups):
+        a = expected_structural_similarity(two_groups, "a1", "a2")
+        b = expected_structural_similarity(two_groups, "a2", "a1")
+        assert a == pytest.approx(b)
+
+    def test_strong_clique_pair_is_similar(self, two_groups):
+        sim = expected_structural_similarity(two_groups, "a3", "a4")
+        assert sim > 0.6
+
+    def test_certain_clique_similarity_is_one(self):
+        g = make_clique(4, 1.0)
+        assert expected_structural_similarity(g, 0, 1) == pytest.approx(1.0)
+
+    def test_weak_edge_has_low_similarity(self, two_groups):
+        sim = expected_structural_similarity(two_groups, "a4", "b4")
+        assert sim < 0.4
+
+
+class TestUscanClusters:
+    def test_finds_strong_groups(self, two_groups):
+        clusters = uscan_clusters(two_groups, epsilon=0.5, mu=3)
+        found = {frozenset(c) for c in clusters}
+        assert any({"a1", "a2", "a3", "a4"} <= c for c in found)
+        assert any({"b1", "b2", "b3", "b4"} <= c for c in found)
+
+    def test_min_size_filter(self, two_groups):
+        clusters = uscan_clusters(two_groups, epsilon=0.5, mu=3, min_size=9)
+        assert clusters == []
+
+    def test_empty_graph(self):
+        assert uscan_clusters(UncertainGraph()) == []
+
+    def test_parameter_validation(self, two_groups):
+        with pytest.raises(ParameterError):
+            uscan_clusters(two_groups, epsilon=0.0)
+        with pytest.raises(ParameterError):
+            uscan_clusters(two_groups, mu=1)
+
+    def test_clusters_are_node_sets_of_graph(self):
+        net = ppi_network(n_proteins=120, n_complexes=4, seed=3)
+        for cluster in uscan_clusters(net.graph):
+            assert all(net.graph.has_node(u) for u in cluster)
+
+
+class TestPclusterClusters:
+    def test_partition_property(self):
+        net = ppi_network(n_proteins=120, n_complexes=4, seed=4)
+        clusters = pcluster_clusters(net.graph, min_size=1, seed=0)
+        seen = [u for c in clusters for u in c]
+        assert len(seen) == len(set(seen))
+
+    def test_threshold_controls_absorption(self, two_groups):
+        tight = pcluster_clusters(two_groups, threshold=0.99, seed=1)
+        loose = pcluster_clusters(two_groups, threshold=0.1, seed=1)
+        biggest_tight = max((len(c) for c in tight), default=0)
+        biggest_loose = max((len(c) for c in loose), default=0)
+        assert biggest_loose >= biggest_tight
+
+    def test_seeded_reproducibility(self, two_groups):
+        a = pcluster_clusters(two_groups, seed=7)
+        b = pcluster_clusters(two_groups, seed=7)
+        assert a == b
+
+    def test_min_size_filter(self, two_groups):
+        clusters = pcluster_clusters(two_groups, min_size=100)
+        assert clusters == []
+
+    def test_strong_group_clustered_together(self, two_groups):
+        clusters = pcluster_clusters(two_groups, seed=3)
+        found = {frozenset(c) for c in clusters}
+        # At threshold 0.5 each strong group is absorbed around its pivot.
+        assert any(
+            len(c & {"a1", "a2", "a3", "a4"}) >= 3 for c in found
+        ) or any(len(c & {"b1", "b2", "b3", "b4"}) >= 3 for c in found)

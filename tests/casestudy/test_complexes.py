@@ -1,0 +1,55 @@
+"""Integration tests for MUCE++-based complex detection."""
+
+from repro.casestudy import (
+    detect_complexes_muce,
+    pcluster_clusters,
+    score_predicted_complexes,
+    uscan_clusters,
+)
+from repro.datasets import ppi_network
+
+
+class TestDetectComplexes:
+    def test_detects_planted_complexes_precisely(self):
+        net = ppi_network(
+            n_proteins=200, n_complexes=8, background_interactions=300,
+            seed=11,
+        )
+        predicted = detect_complexes_muce(net.graph, k=5, tau=0.1)
+        assert predicted
+        score = score_predicted_complexes(
+            predicted, list(net.complexes), method="MUCE++"
+        )
+        assert score.precision > 0.8
+
+    def test_predictions_are_within_complex_regions(self):
+        net = ppi_network(
+            n_proteins=200, n_complexes=6, background_interactions=200,
+            noisy_attachments=0, seed=12,
+        )
+        predicted = detect_complexes_muce(net.graph, k=5, tau=0.1)
+        for clique in predicted:
+            # Without attachment noise, each detected complex lies inside
+            # a planted one (up to the rare background edge).
+            best = max(
+                (len(clique & c) for c in net.complexes), default=0
+            )
+            assert best >= len(clique) - 1
+
+    def test_beats_clustering_baselines_on_precision(self):
+        net = ppi_network(
+            n_proteins=250, n_complexes=8, background_interactions=500,
+            seed=13,
+        )
+        truth = list(net.complexes)
+        muce_score = score_predicted_complexes(
+            detect_complexes_muce(net.graph, k=5, tau=0.1), truth
+        )
+        uscan_score = score_predicted_complexes(
+            uscan_clusters(net.graph), truth
+        )
+        pcluster_score = score_predicted_complexes(
+            pcluster_clusters(net.graph, seed=13), truth
+        )
+        assert muce_score.precision >= uscan_score.precision
+        assert muce_score.precision >= pcluster_score.precision

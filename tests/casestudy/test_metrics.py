@@ -1,0 +1,59 @@
+"""Unit tests for the TP/FP/precision metrics (Table II)."""
+
+import pytest
+
+from repro.casestudy import ComplexDetectionScore, score_predicted_complexes
+
+
+class TestScore:
+    def test_perfect_prediction(self):
+        truth = [frozenset({1, 2, 3})]
+        score = score_predicted_complexes(truth, truth, method="x")
+        assert score.true_positives == 3
+        assert score.false_positives == 0
+        assert score.precision == 1.0
+
+    def test_disjoint_prediction(self):
+        truth = [frozenset({1, 2, 3})]
+        predicted = [frozenset({4, 5, 6})]
+        score = score_predicted_complexes(predicted, truth)
+        assert score.true_positives == 0
+        assert score.false_positives == 3
+        assert score.precision == 0.0
+
+    def test_partial_overlap(self):
+        truth = [frozenset({1, 2, 3})]
+        predicted = [frozenset({1, 2, 4})]
+        # Pairs: {1,2} matches; {1,4} and {2,4} do not.
+        score = score_predicted_complexes(predicted, truth)
+        assert score.true_positives == 1
+        assert score.false_positives == 2
+        assert score.precision == pytest.approx(1 / 3)
+
+    def test_duplicate_pairs_counted_once(self):
+        truth = [frozenset({1, 2, 3})]
+        predicted = [frozenset({1, 2, 3}), frozenset({1, 2, 4})]
+        score = score_predicted_complexes(predicted, truth)
+        assert score.true_positives == 3
+        assert score.false_positives == 2
+
+    def test_cross_complex_pairs_do_not_match(self):
+        # 1-2 in one truth complex, 3-4 in another: pair 2-3 is false.
+        truth = [frozenset({1, 2}), frozenset({3, 4})]
+        predicted = [frozenset({2, 3})]
+        score = score_predicted_complexes(predicted, truth)
+        assert score.true_positives == 0
+        assert score.false_positives == 1
+
+    def test_empty_prediction(self):
+        score = score_predicted_complexes([], [frozenset({1, 2})])
+        assert score.precision == 0.0
+        assert score.predicted_complexes == 0
+
+    def test_method_label(self):
+        score = score_predicted_complexes([], [], method="MUCE++")
+        assert score.method == "MUCE++"
+
+    def test_dataclass_fields(self):
+        score = ComplexDetectionScore("m", 3, 1, 2)
+        assert score.precision == pytest.approx(0.75)

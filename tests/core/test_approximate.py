@@ -1,0 +1,54 @@
+"""Unit tests for sampling-based approximate enumeration."""
+
+import pytest
+
+from repro import UncertainGraph, muce_plus_plus
+from repro.core.approximate import approximate_maximal_cliques
+from repro.errors import ParameterError
+from tests.conftest import make_random_graph
+
+
+class TestApproximateMaximalCliques:
+    def test_bad_samples(self, triangle):
+        with pytest.raises(ParameterError):
+            approximate_maximal_cliques(triangle, 1, 0.5, samples=0)
+
+    def test_no_false_positives(self):
+        g = make_random_graph(14, 0.55, seed=4)
+        k, tau = 2, 0.2
+        exact = set(muce_plus_plus(g, k, tau))
+        approx = approximate_maximal_cliques(g, k, tau, samples=30, seed=1)
+        assert approx <= exact
+
+    def test_high_recall_on_strong_cliques(self, two_groups):
+        approx = approximate_maximal_cliques(
+            two_groups, 3, 0.7, samples=40, seed=2
+        )
+        assert approx == {
+            frozenset({"a1", "a2", "a3", "a4"}),
+            frozenset({"b1", "b2", "b3", "b4"}),
+        }
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_good_recall_on_random_graphs(self, seed):
+        g = make_random_graph(12, 0.55, seed=seed)
+        k, tau = 2, 0.3
+        exact = set(muce_plus_plus(g, k, tau))
+        approx = approximate_maximal_cliques(
+            g, k, tau, samples=80, seed=seed
+        )
+        assert approx <= exact
+        if exact:
+            recall = len(approx) / len(exact)
+            assert recall >= 0.5
+
+    def test_empty_graph(self):
+        assert approximate_maximal_cliques(
+            UncertainGraph(), 2, 0.5, samples=5
+        ) == set()
+
+    def test_deterministic_given_seed(self):
+        g = make_random_graph(12, 0.5, seed=9)
+        a = approximate_maximal_cliques(g, 2, 0.3, samples=20, seed=7)
+        b = approximate_maximal_cliques(g, 2, 0.3, samples=20, seed=7)
+        assert a == b

@@ -1,0 +1,151 @@
+"""White-box tests for search/cut internals.
+
+These pin down the behavior of the private helpers the hot paths rely
+on, so refactors cannot silently change their contracts.
+"""
+
+from repro import UncertainGraph
+from repro.core.cut_pruning import _CutTopK, _sweep_split
+from repro.core.enumeration import _insearch_topk_prune, _pi_k_ok
+from repro.utils.validation import FLOAT_EPS
+from tests.conftest import make_clique, make_random_graph
+
+
+class TestCutTopK:
+    def test_small_cut_is_low(self):
+        cut = _CutTopK()
+        cut.add(frozenset((1, 2)), 0.9)
+        assert cut.is_low(2, 0.5)  # only one live edge
+
+    def test_top_k_product(self):
+        cut = _CutTopK()
+        for i, p in enumerate((0.9, 0.5, 0.8)):
+            cut.add(frozenset((i, i + 100)), p)
+        # top-2 product = 0.72
+        assert not cut.is_low(2, 0.7)
+        assert cut.is_low(2, 0.73)
+
+    def test_removal_changes_product(self):
+        cut = _CutTopK()
+        keys = [frozenset((i, i + 100)) for i in range(3)]
+        for key, p in zip(keys, (0.9, 0.5, 0.8)):
+            cut.add(key, p)
+        cut.remove(keys[0])  # drop the 0.9; top-2 = 0.4
+        assert cut.is_low(2, 0.5)
+        assert not cut.is_low(2, 0.3)
+
+    def test_live_count_tracks(self):
+        cut = _CutTopK()
+        key = frozenset((1, 2))
+        cut.add(key, 0.5)
+        assert cut.live == 1
+        cut.remove(key)
+        assert cut.live == 0
+        assert cut.is_low(1, 0.01)
+
+    def test_query_is_repeatable(self):
+        cut = _CutTopK()
+        for i, p in enumerate((0.9, 0.8, 0.7)):
+            cut.add(frozenset((i, i + 100)), p)
+        first = cut.is_low(2, 0.71)
+        second = cut.is_low(2, 0.71)
+        assert first == second == False  # noqa: E712 — explicit value
+
+
+class TestPiKOk:
+    def test_short_list_fails(self):
+        assert not _pi_k_ok([0.9], 2, 0.1)
+
+    def test_top_k_product_checked(self):
+        floor = 0.5 * (1 - FLOAT_EPS)
+        assert _pi_k_ok([0.2, 0.8, 0.9], 2, floor)  # 0.72 >= 0.5
+        assert _pi_k_ok([0.2, 0.6, 0.9], 2, floor)  # 0.54 >= 0.5
+        assert not _pi_k_ok([0.2, 0.5, 0.9], 2, floor)  # 0.45 < 0.5
+
+    def test_k_zero_always_ok_for_tau_leq_one(self):
+        assert _pi_k_ok([], 0, 1.0 * (1 - FLOAT_EPS))
+
+
+class TestInsearchPrune:
+    def test_dead_branch_when_fixed_falls(self, two_groups):
+        # Clique anchored at the hub cannot reach size 4 at tau 0.7.
+        candidates = [
+            (v, two_groups.probability("hub", v))
+            for v in two_groups.neighbors("hub")
+        ]
+        result = _insearch_topk_prune(
+            two_groups, ["hub"], candidates, 3,
+            0.7 * (1 - FLOAT_EPS), 4,
+        )
+        assert result is None
+
+    def test_shrinks_candidates(self, two_groups):
+        candidates = [
+            (v, 1.0) for v in two_groups.nodes()
+        ]
+        result = _insearch_topk_prune(
+            two_groups, [], candidates, 3, 0.7 * (1 - FLOAT_EPS), 4
+        )
+        assert result is not None
+        kept = {v for v, _ in result}
+        assert "hub" not in kept
+        assert {"a1", "a2", "a3", "a4"} <= kept
+
+    def test_no_op_when_core_full(self):
+        g = make_clique(6, 0.99)
+        candidates = [(v, 1.0) for v in g.nodes()]
+        result = _insearch_topk_prune(
+            g, [], candidates, 3, 0.5 * (1 - FLOAT_EPS), 4
+        )
+        assert result is candidates  # identity: nothing was removed
+
+
+class TestSweepSplit:
+    def test_no_cut_in_strong_clique(self):
+        g = make_clique(6, 0.95)
+        segments, cuts, removed = _sweep_split(
+            g, set(g.nodes()), 3, 0.5
+        )
+        assert cuts == 0
+        assert removed == 0
+        assert segments == []
+
+    def test_bridge_cut_found(self):
+        # Two strong 4-cliques joined by a single weak edge.
+        g = make_clique(4, 0.95)
+        for u_off in range(4, 8):
+            for v_off in range(u_off + 1, 8):
+                g.add_edge(u_off, v_off, 0.95)
+        g.add_edge(0, 4, 0.2)
+        segments, cuts, removed = _sweep_split(g, set(g.nodes()), 3, 0.5)
+        assert cuts >= 1
+        assert removed >= 1
+        assert not g.has_edge(0, 4)
+        # Every segment is one of the two cliques (order-independent).
+        for segment in segments:
+            assert set(segment) <= {0, 1, 2, 3} or set(segment) <= {
+                4, 5, 6, 7,
+            }
+
+    def test_disconnected_component_splits(self):
+        g = UncertainGraph(edges=[(0, 1, 0.9), (2, 3, 0.9)])
+        segments, cuts, removed = _sweep_split(g, {0, 1, 2, 3}, 1, 0.5)
+        assert cuts >= 1
+        assert removed == 0  # no crossing edges existed
+        groups = [set(s) for s in segments]
+        assert {0, 1} in groups and {2, 3} in groups
+
+    def test_all_edges_preserved_or_deleted_consistently(self):
+        g = make_random_graph(14, 0.4, seed=5)
+        before = g.num_edges
+        components = {frozenset(c) for c in [set(g.nodes())]}
+        # run on the (single) component of a connected copy
+        from repro.deterministic.components import connected_components
+
+        work = g.copy()
+        total_removed = 0
+        for comp in connected_components(work):
+            if len(comp) > 1:
+                _, _, removed = _sweep_split(work, comp, 3, 0.5)
+                total_removed += removed
+        assert work.num_edges == before - total_removed

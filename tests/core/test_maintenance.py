@@ -1,0 +1,121 @@
+"""Unit tests for incremental (k, tau)-core maintenance."""
+
+import random
+
+import pytest
+
+from repro import KTauCoreMaintainer, dp_core_plus
+from tests.conftest import make_random_graph
+
+
+class TestBasics:
+    def test_initial_core_matches_batch(self, two_groups):
+        maintainer = KTauCoreMaintainer(two_groups, 3, 0.7)
+        assert maintainer.core == frozenset(
+            dp_core_plus(two_groups, 3, 0.7)
+        )
+
+    def test_owns_a_copy(self, two_groups):
+        maintainer = KTauCoreMaintainer(two_groups, 3, 0.7)
+        two_groups.remove_edge("a1", "a2")
+        # The maintainer's graph is unaffected by outside mutation.
+        assert maintainer.graph.has_edge("a1", "a2")
+
+    def test_graph_property_returns_copy(self, two_groups):
+        maintainer = KTauCoreMaintainer(two_groups, 3, 0.7)
+        view = maintainer.graph
+        view.remove_edge("a1", "a2")
+        assert maintainer.graph.has_edge("a1", "a2")
+
+    def test_add_isolated_node(self, two_groups):
+        maintainer = KTauCoreMaintainer(two_groups, 3, 0.7)
+        maintainer.add_node("new")
+        assert "new" not in maintainer.core
+
+
+class TestDeletion:
+    def test_deleting_group_edge_breaks_group(self, two_groups):
+        maintainer = KTauCoreMaintainer(two_groups, 3, 0.7)
+        core = maintainer.remove_edge("a1", "a2")
+        expected = dp_core_plus(maintainer.graph, 3, 0.7)
+        assert core == frozenset(expected)
+        assert "a1" not in core  # the 4-clique can no longer support k=3
+
+    def test_unrelated_deletion_keeps_core(self, two_groups):
+        maintainer = KTauCoreMaintainer(two_groups, 3, 0.7)
+        before = maintainer.core
+        core = maintainer.remove_edge("hub", "a1")
+        assert core == before
+
+    def test_cascading_deletion(self):
+        # A 5-clique at p=0.9; deleting one edge drops two nodes below
+        # k and the remaining triangle below k too.
+        from tests.conftest import make_clique
+
+        g = make_clique(5, 0.9)
+        maintainer = KTauCoreMaintainer(g, 3, 0.5)
+        assert len(maintainer.core) == 5
+        core = maintainer.remove_edge(0, 1)
+        assert core == frozenset(dp_core_plus(maintainer.graph, 3, 0.5))
+
+
+class TestInsertion:
+    def test_insertion_grows_core(self):
+        from tests.conftest import make_clique
+
+        # A 4-clique plus a pendant that becomes a full member.
+        g = make_clique(4, 0.95)
+        g.add_node(99)
+        maintainer = KTauCoreMaintainer(g, 3, 0.5)
+        assert 99 not in maintainer.core
+        for v in range(4):
+            maintainer.add_edge(99, v, 0.95)
+        assert 99 in maintainer.core
+        assert maintainer.core == frozenset(
+            dp_core_plus(maintainer.graph, 3, 0.5)
+        )
+
+    def test_probability_increase(self, two_groups):
+        maintainer = KTauCoreMaintainer(two_groups, 3, 0.9)
+        # At tau 0.9 the 0.95-cliques fail (0.95^3 = 0.857): empty core.
+        assert maintainer.core == frozenset()
+        for u in ("a1", "a2", "a3", "a4"):
+            for v in ("a1", "a2", "a3", "a4"):
+                if str(u) < str(v):
+                    maintainer.set_probability(u, v, 0.99)
+        assert maintainer.core == frozenset(
+            dp_core_plus(maintainer.graph, 3, 0.9)
+        )
+        assert "a1" in maintainer.core
+
+    def test_probability_decrease(self, two_groups):
+        maintainer = KTauCoreMaintainer(two_groups, 3, 0.7)
+        maintainer.set_probability("a1", "a2", 0.1)
+        assert maintainer.core == frozenset(
+            dp_core_plus(maintainer.graph, 3, 0.7)
+        )
+
+
+class TestRandomizedSequences:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_batch_after_every_update(self, seed):
+        rng = random.Random(seed)
+        g = make_random_graph(12, 0.45, seed=seed)
+        k, tau = 2, 0.3
+        maintainer = KTauCoreMaintainer(g, k, tau)
+        nodes = g.nodes()
+        for step in range(25):
+            u, v = rng.sample(nodes, 2)
+            work = maintainer.graph
+            if work.has_edge(u, v):
+                action = rng.choice(["remove", "reweight"])
+                if action == "remove":
+                    maintainer.remove_edge(u, v)
+                else:
+                    maintainer.set_probability(
+                        u, v, round(rng.uniform(0.05, 1.0), 3)
+                    )
+            else:
+                maintainer.add_edge(u, v, round(rng.uniform(0.05, 1.0), 3))
+            expected = dp_core_plus(maintainer.graph, k, tau)
+            assert maintainer.core == frozenset(expected), f"step {step}"

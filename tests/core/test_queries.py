@@ -1,0 +1,90 @@
+"""Unit tests for the anchored query layer."""
+
+import pytest
+
+from repro import (
+    cliques_containing,
+    containing_clique_exists,
+    is_extendable,
+    muce_plus_plus,
+)
+from repro.errors import NodeNotFoundError
+from tests.conftest import make_random_graph
+
+
+class TestCliquesContaining:
+    def test_unknown_node(self, triangle):
+        with pytest.raises(NodeNotFoundError):
+            list(cliques_containing(triangle, "zzz", 1, 0.5))
+
+    def test_member_of_one_group(self, two_groups):
+        result = set(cliques_containing(two_groups, "a1", 3, 0.7))
+        assert result == {frozenset({"a1", "a2", "a3", "a4"})}
+
+    def test_hub_has_no_cliques(self, two_groups):
+        assert list(cliques_containing(two_groups, "hub", 3, 0.7)) == []
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_filtered_enumeration(self, seed):
+        g = make_random_graph(12, 0.55, seed=seed)
+        k, tau = 1, 0.2
+        full = set(muce_plus_plus(g, k, tau))
+        for node in list(g.nodes())[:6]:
+            expected = {c for c in full if node in c}
+            got = set(cliques_containing(g, node, k, tau))
+            assert got == expected
+
+
+class TestIsExtendable:
+    def test_subset_of_group_is_extendable(self, two_groups):
+        assert is_extendable(two_groups, ["a1", "a2"], 0.7)
+
+    def test_full_group_is_not(self, two_groups):
+        assert not is_extendable(
+            two_groups, ["a1", "a2", "a3", "a4"], 0.7
+        )
+
+    def test_non_clique_is_not(self, path_graph):
+        assert not is_extendable(path_graph, [0, 2], 0.1)
+
+    def test_empty_set_on_nonempty_graph(self, triangle):
+        assert is_extendable(triangle, [], 0.5)
+
+    def test_tau_blocks_extension(self, two_groups):
+        # a1-a2 extendable at tau 0.7 but not at a tau above the
+        # triangle probability 0.95^3.
+        assert not is_extendable(two_groups, ["a1", "a2"], 0.9)
+
+
+class TestContainingCliqueExists:
+    def test_group_subset(self, two_groups):
+        assert containing_clique_exists(two_groups, ["a1", "a2"], 3, 0.7)
+
+    def test_cross_group_pair_fails(self, two_groups):
+        assert not containing_clique_exists(
+            two_groups, ["a1", "b1"], 3, 0.7
+        )
+
+    def test_hub_fails(self, two_groups):
+        assert not containing_clique_exists(two_groups, ["hub"], 3, 0.7)
+
+    def test_already_large_enough(self, two_groups):
+        assert containing_clique_exists(
+            two_groups, ["a1", "a2", "a3", "a4"], 3, 0.7
+        )
+
+    def test_empty_set(self, triangle):
+        assert not containing_clique_exists(triangle, [], 1, 0.5)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_enumeration(self, seed):
+        g = make_random_graph(11, 0.55, seed=seed)
+        k, tau = 2, 0.2
+        cliques = list(muce_plus_plus(g, k, tau))
+        nodes = g.nodes()
+        # Probe pairs: exists iff some enumerated clique contains both.
+        import itertools
+
+        for pair in itertools.combinations(nodes[:6], 2):
+            expected = any(set(pair) <= c for c in cliques)
+            assert containing_clique_exists(g, pair, k, tau) == expected

@@ -1,0 +1,76 @@
+"""Unit tests for the output-verification module."""
+
+import pytest
+
+from repro import muce_plus_plus, verify_maximal_cliques
+from tests.conftest import make_random_graph
+
+
+class TestVerifyMaximalCliques:
+    def test_genuine_output_verifies(self, two_groups):
+        cliques = list(muce_plus_plus(two_groups, 3, 0.7))
+        report = verify_maximal_cliques(two_groups, cliques, 3, 0.7)
+        assert report.ok
+        assert report.checked == 2
+        assert "verified" in report.summary()
+
+    def test_detects_non_clique(self, path_graph):
+        report = verify_maximal_cliques(
+            path_graph, [frozenset({0, 1, 2})], 1, 0.1
+        )
+        assert not report.ok
+        assert report.not_cliques
+
+    def test_detects_below_tau(self, triangle):
+        report = verify_maximal_cliques(
+            triangle, [frozenset({"a", "b", "c"})], 1, 0.99
+        )
+        assert not report.ok
+        assert report.below_tau
+
+    def test_detects_too_small(self, triangle):
+        report = verify_maximal_cliques(
+            triangle, [frozenset({"a", "b", "c"})], 5, 0.1
+        )
+        assert not report.ok
+        assert report.too_small
+
+    def test_detects_non_maximal(self, two_groups):
+        report = verify_maximal_cliques(
+            two_groups, [frozenset({"a1", "a2", "a3"})], 2, 0.5
+        )
+        assert not report.ok
+        assert report.not_maximal
+
+    def test_detects_containment(self, two_groups):
+        group = frozenset({"a1", "a2", "a3", "a4"})
+        subset = frozenset({"a1", "a2", "a3"})
+        report = verify_maximal_cliques(
+            two_groups, [group, subset], 2, 0.5
+        )
+        assert report.contained_pairs
+        assert (subset, group) in report.contained_pairs
+
+    def test_sampling_confirms_probabilities(self, two_groups):
+        cliques = list(muce_plus_plus(two_groups, 3, 0.7))
+        report = verify_maximal_cliques(
+            two_groups, cliques, 3, 0.7,
+            sample_probability=True, samples=6000, seed=1,
+        )
+        assert report.ok
+        assert not report.sampling_outliers
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_enumeration_output_always_verifies(self, seed):
+        g = make_random_graph(13, 0.55, seed=seed)
+        k, tau = 2, 0.2
+        cliques = list(muce_plus_plus(g, k, tau))
+        report = verify_maximal_cliques(g, cliques, k, tau)
+        assert report.ok, report.summary()
+
+    def test_summary_mentions_failures(self, path_graph):
+        report = verify_maximal_cliques(
+            path_graph, [frozenset({0, 1, 2})], 1, 0.1
+        )
+        assert "FAILED" in report.summary()
+        assert "non-cliques" in report.summary()

@@ -1,0 +1,90 @@
+"""Unit tests for the synthetic PPI network generator."""
+
+import pytest
+
+from repro.datasets import ppi_network
+from repro.errors import ParameterError
+
+
+class TestPPINetwork:
+    def test_deterministic_given_seed(self):
+        a = ppi_network(n_proteins=100, n_complexes=4, seed=1)
+        b = ppi_network(n_proteins=100, n_complexes=4, seed=1)
+        assert a.graph == b.graph
+        assert a.complexes == b.complexes
+
+    def test_complex_count(self):
+        net = ppi_network(n_proteins=200, n_complexes=6, seed=2)
+        assert len(net.complexes) == 6
+
+    def test_complex_sizes_in_range(self):
+        net = ppi_network(
+            n_proteins=200, n_complexes=8, complex_size=(5, 9), seed=3
+        )
+        for complex_ in net.complexes:
+            assert 5 <= len(complex_) <= 9
+
+    def test_complex_confidences_high(self):
+        net = ppi_network(
+            n_proteins=150,
+            n_complexes=5,
+            complex_confidence=(0.9, 0.99),
+            noisy_attachments=0,
+            background_interactions=0,
+            seed=4,
+        )
+        for _, _, p in net.graph.edges():
+            assert 0.9 <= p <= 0.99
+
+    def test_background_confidences_low(self):
+        net = ppi_network(
+            n_proteins=150,
+            n_complexes=0,
+            background_interactions=300,
+            background_confidence=(0.05, 0.3),
+            seed=5,
+        )
+        assert net.graph.num_edges > 0
+        for _, _, p in net.graph.edges():
+            assert p <= 0.3
+
+    def test_properties(self):
+        net = ppi_network(n_proteins=100, n_complexes=3, seed=6)
+        assert net.num_proteins == 100
+        assert net.num_interactions == net.graph.num_edges
+
+    def test_full_density_complex_is_clique(self):
+        from repro.uncertain.clique_prob import is_clique
+
+        net = ppi_network(
+            n_proteins=100,
+            n_complexes=3,
+            complex_density=1.0,
+            noisy_attachments=0,
+            background_interactions=0,
+            seed=7,
+        )
+        for complex_ in net.complexes:
+            assert is_clique(net.graph, complex_)
+
+    def test_overlap_possible(self):
+        net = ppi_network(
+            n_proteins=60,
+            n_complexes=12,
+            overlap_probability=1.0,
+            seed=8,
+        )
+        overlapping = any(
+            a != b and a & b
+            for a in net.complexes
+            for b in net.complexes
+        )
+        assert overlapping
+
+    def test_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            ppi_network(n_proteins=0)
+        with pytest.raises(ParameterError):
+            ppi_network(complex_size=(2, 5))
+        with pytest.raises(ParameterError):
+            ppi_network(complex_density=0.0)

@@ -1,0 +1,74 @@
+"""Unit tests for the probability models."""
+
+import math
+
+import pytest
+
+from repro.datasets import (
+    ConstantProbabilityModel,
+    ExponentialWeightModel,
+    UniformProbabilityModel,
+)
+from repro.errors import ParameterError
+
+
+class TestExponentialWeightModel:
+    def test_paper_formula(self):
+        model = ExponentialWeightModel(lam=2.0)
+        assert model(1) == pytest.approx(1 - math.exp(-0.5))
+        assert model(10) == pytest.approx(1 - math.exp(-5.0))
+
+    def test_monotone_in_weight(self):
+        model = ExponentialWeightModel()
+        assert model(1) < model(2) < model(10)
+
+    def test_larger_lambda_lowers_probability(self):
+        assert ExponentialWeightModel(2)(3) > ExponentialWeightModel(6)(3)
+
+    def test_bad_lambda(self):
+        with pytest.raises(ParameterError):
+            ExponentialWeightModel(0)
+
+    def test_bad_weight(self):
+        with pytest.raises(ParameterError):
+            ExponentialWeightModel()(0)
+
+    def test_repr(self):
+        assert "lam=2.0" in repr(ExponentialWeightModel())
+
+
+class TestUniformProbabilityModel:
+    def test_in_range(self):
+        model = UniformProbabilityModel(seed=1)
+        values = [model(1) for _ in range(200)]
+        assert all(0.0 < v <= 1.0 for v in values)
+
+    def test_ignores_weight(self):
+        a = UniformProbabilityModel(seed=2)
+        b = UniformProbabilityModel(seed=2)
+        assert [a(1) for _ in range(10)] == [b(999) for _ in range(10)]
+
+    def test_seeded_reproducibility(self):
+        a = UniformProbabilityModel(seed=3)
+        b = UniformProbabilityModel(seed=3)
+        assert [a(1) for _ in range(20)] == [b(1) for _ in range(20)]
+
+    def test_custom_range(self):
+        model = UniformProbabilityModel(seed=4, low=0.5, high=0.6)
+        values = [model(1) for _ in range(100)]
+        assert all(0.5 < v <= 0.6 for v in values)
+
+    def test_bad_range(self):
+        with pytest.raises(ParameterError):
+            UniformProbabilityModel(low=0.9, high=0.2)
+
+
+class TestConstantProbabilityModel:
+    def test_constant(self):
+        model = ConstantProbabilityModel(0.42)
+        assert model(1) == 0.42
+        assert model(100) == 0.42
+
+    def test_validates(self):
+        with pytest.raises(Exception):
+            ConstantProbabilityModel(0.0)

@@ -1,0 +1,208 @@
+"""Unit tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.datasets import (
+    ConstantProbabilityModel,
+    ExponentialWeightModel,
+    WeightedGraph,
+    collaboration_network,
+    collaboration_weights,
+    communication_network,
+    communication_weights,
+    planted_clique_graph,
+    random_uncertain_graph,
+)
+from repro.errors import DatasetError, ParameterError
+from repro.uncertain.clique_prob import clique_probability, is_clique
+
+
+class TestWeightedGraph:
+    def test_interactions_accumulate(self):
+        w = WeightedGraph()
+        w.add_interaction(1, 2)
+        w.add_interaction(1, 2)
+        w.add_interaction(2, 1)
+        assert w.weight(1, 2) == 3
+
+    def test_team_adds_all_pairs(self):
+        w = WeightedGraph()
+        w.add_team([1, 2, 3])
+        assert w.weight(1, 2) == 1
+        assert w.weight(1, 3) == 1
+        assert w.weight(2, 3) == 1
+        assert w.num_edges == 3
+
+    def test_team_dedupes_members(self):
+        w = WeightedGraph()
+        w.add_team([1, 2, 2, 3])
+        assert w.weight(2, 3) == 1
+
+    def test_self_interaction_rejected(self):
+        w = WeightedGraph()
+        with pytest.raises(DatasetError):
+            w.add_interaction(1, 1)
+
+    def test_nonpositive_amount_rejected(self):
+        w = WeightedGraph()
+        with pytest.raises(DatasetError):
+            w.add_interaction(1, 2, 0)
+
+    def test_zero_weight_means_no_edge(self):
+        w = WeightedGraph()
+        w.add_node(1)
+        assert w.weight(1, 2) == 0
+
+    def test_to_uncertain(self):
+        w = WeightedGraph()
+        w.add_node(9)
+        w.add_interaction(1, 2, 4)
+        g = w.to_uncertain(ConstantProbabilityModel(0.5))
+        assert g.num_nodes == 3
+        assert g.probability(1, 2) == 0.5
+
+    def test_to_uncertain_uses_weight(self):
+        w = WeightedGraph()
+        w.add_interaction(1, 2, 4)
+        g = w.to_uncertain(ExponentialWeightModel(2.0))
+        import math
+
+        assert g.probability(1, 2) == pytest.approx(1 - math.exp(-2))
+
+
+class TestRandomUncertainGraph:
+    def test_deterministic_given_seed(self):
+        a = random_uncertain_graph(20, 0.3, seed=1)
+        b = random_uncertain_graph(20, 0.3, seed=1)
+        assert a == b
+
+    def test_extreme_densities(self):
+        empty = random_uncertain_graph(10, 0.0, seed=1)
+        assert empty.num_edges == 0
+        full = random_uncertain_graph(10, 1.0, seed=1)
+        assert full.num_edges == 45
+
+    def test_probability_range_respected(self):
+        g = random_uncertain_graph(
+            15, 0.5, seed=2, prob_range=(0.7, 0.8)
+        )
+        assert all(0.7 <= p <= 0.8 for _, _, p in g.edges())
+
+    def test_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            random_uncertain_graph(-1, 0.5)
+        with pytest.raises(ParameterError):
+            random_uncertain_graph(5, 1.5)
+        with pytest.raises(ParameterError):
+            random_uncertain_graph(5, 0.5, prob_range=(0.9, 0.1))
+
+
+class TestPlantedCliqueGraph:
+    def test_planted_cliques_exist(self):
+        g, planted = planted_clique_graph(30, [5, 7], seed=1)
+        assert len(planted) == 2
+        for clique in planted:
+            assert is_clique(g, clique)
+
+    def test_planted_probability(self):
+        g, planted = planted_clique_graph(
+            10, [4], clique_prob=0.9, seed=2
+        )
+        (clique,) = planted
+        assert clique_probability(g, clique) == pytest.approx(0.9 ** 6)
+
+    def test_too_small_clique_rejected(self):
+        with pytest.raises(ParameterError):
+            planted_clique_graph(10, [1])
+
+    def test_node_count(self):
+        g, _ = planted_clique_graph(20, [5], seed=3)
+        assert g.num_nodes == 25
+
+
+class TestCollaborationNetwork:
+    def test_deterministic_given_seed(self):
+        a = collaboration_weights(
+            n_authors=100, hot_teams=3, casual_teams=100, seed=9
+        )
+        b = collaboration_weights(
+            n_authors=100, hot_teams=3, casual_teams=100, seed=9
+        )
+        assert a.num_edges == b.num_edges
+        assert all(
+            a.weight(u, v) == b.weight(u, v)
+            for u, v, _ in a.to_uncertain(
+                ConstantProbabilityModel(0.5)
+            ).edges()
+        )
+
+    def test_hot_teams_create_high_weights(self):
+        w = collaboration_weights(
+            n_authors=100,
+            hot_teams=2,
+            hot_size=(6, 8),
+            hot_repeats=(10, 12),
+            casual_teams=0,
+            seed=1,
+        )
+        top = max(
+            w.weight(u, v)
+            for u, v, _ in w.to_uncertain(
+                ConstantProbabilityModel(0.5)
+            ).edges()
+        )
+        assert top >= 8
+
+    def test_population_too_small_rejected(self):
+        with pytest.raises(ParameterError):
+            collaboration_weights(n_authors=5, hot_size=(8, 16))
+
+    def test_network_probabilities_valid(self):
+        g = collaboration_network(
+            n_authors=120, hot_teams=2, casual_teams=200, seed=4
+        )
+        assert all(0 < p <= 1 for _, _, p in g.edges())
+
+    def test_all_authors_present(self):
+        g = collaboration_network(
+            n_authors=150, hot_teams=2, casual_teams=50, seed=5
+        )
+        assert g.num_nodes == 150
+
+
+class TestCommunicationNetwork:
+    def test_deterministic_given_seed(self):
+        a = communication_network(
+            n_users=100, threads=200, groups=2, seed=9
+        )
+        b = communication_network(
+            n_users=100, threads=200, groups=2, seed=9
+        )
+        assert a == b
+
+    def test_hub_degrees_are_heavy_tailed(self):
+        g = communication_network(
+            n_users=400, threads=3000, groups=0, zipf_exponent=1.2, seed=3
+        )
+        degrees = sorted((g.degree(u) for u in g), reverse=True)
+        # The busiest user dwarfs the median user.
+        assert degrees[0] > 10 * max(degrees[len(degrees) // 2], 1)
+
+    def test_groups_create_cliques(self):
+        g = communication_network(
+            n_users=100,
+            threads=0,
+            groups=1,
+            group_size=(6, 6),
+            group_repeats=(10, 10),
+            participation=1.0,
+            seed=7,
+        )
+        # The single group is a 6-clique of recurrent interactions.
+        active = [u for u in g if g.degree(u) > 0]
+        assert len(active) == 6
+        assert is_clique(g, active)
+
+    def test_population_too_small_rejected(self):
+        with pytest.raises(ParameterError):
+            communication_weights(n_users=4, group_size=(8, 16))

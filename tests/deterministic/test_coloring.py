@@ -1,0 +1,70 @@
+"""Unit tests for greedy coloring."""
+
+import pytest
+
+from repro import UncertainGraph
+from repro.deterministic.coloring import color_count, greedy_coloring
+from tests.conftest import make_clique, make_random_graph
+
+
+def is_proper(graph, colors):
+    return all(colors[u] != colors[v] for u, v, _ in graph.edges())
+
+
+class TestGreedyColoring:
+    def test_empty(self):
+        assert greedy_coloring(UncertainGraph()) == {}
+
+    def test_proper_on_triangle(self, triangle):
+        colors = greedy_coloring(triangle)
+        assert is_proper(triangle, colors)
+        assert len(set(colors.values())) == 3
+
+    def test_clique_needs_size_colors(self):
+        g = make_clique(7, 0.5)
+        colors = greedy_coloring(g)
+        assert len(set(colors.values())) == 7
+
+    def test_path_needs_two_colors(self, path_graph):
+        colors = greedy_coloring(path_graph)
+        assert is_proper(path_graph, colors)
+        assert len(set(colors.values())) == 2
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_proper_on_random_graphs(self, seed):
+        g = make_random_graph(30, 0.3, seed=seed)
+        assert is_proper(g, greedy_coloring(g))
+
+    def test_colors_are_consecutive_from_zero(self, two_groups):
+        colors = greedy_coloring(two_groups)
+        used = set(colors.values())
+        assert used == set(range(len(used)))
+
+    def test_custom_order(self, triangle):
+        colors = greedy_coloring(triangle, order=["a", "b", "c"])
+        assert colors["a"] == 0
+        assert is_proper(triangle, colors)
+
+    def test_isolated_nodes_share_color_zero(self):
+        g = UncertainGraph(nodes=[1, 2, 3])
+        colors = greedy_coloring(g)
+        assert set(colors.values()) == {0}
+
+
+class TestColorCount:
+    def test_counts_distinct(self, two_groups):
+        colors = greedy_coloring(two_groups)
+        assert color_count(colors, ["a1", "a2"]) == 2
+
+    def test_empty_selection(self, triangle):
+        colors = greedy_coloring(triangle)
+        assert color_count(colors, []) == 0
+
+    def test_clique_color_count_bounds_clique_size(self):
+        # The color-bound premise: any clique's size <= its color count.
+        g = make_random_graph(20, 0.5, seed=9)
+        colors = greedy_coloring(g)
+        from repro.deterministic.cliques import bron_kerbosch
+
+        for clique in bron_kerbosch(g):
+            assert color_count(colors, clique) == len(clique)

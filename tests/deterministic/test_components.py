@@ -1,0 +1,62 @@
+"""Unit tests for connected components."""
+
+from repro import UncertainGraph
+from repro.deterministic.components import (
+    component_subgraphs,
+    connected_components,
+    is_connected,
+)
+
+
+class TestConnectedComponents:
+    def test_empty(self):
+        assert connected_components(UncertainGraph()) == []
+
+    def test_single_component(self, triangle):
+        comps = connected_components(triangle)
+        assert len(comps) == 1
+        assert comps[0] == {"a", "b", "c"}
+
+    def test_isolated_nodes_are_components(self):
+        g = UncertainGraph(edges=[(1, 2, 0.5)], nodes=[9])
+        comps = connected_components(g)
+        assert {1, 2} in comps
+        assert {9} in comps
+
+    def test_two_components(self):
+        g = UncertainGraph(edges=[(1, 2, 0.5), (3, 4, 0.5)])
+        comps = connected_components(g)
+        assert len(comps) == 2
+
+    def test_components_partition_nodes(self, two_groups):
+        comps = connected_components(two_groups)
+        seen = [u for comp in comps for u in comp]
+        assert sorted(seen, key=str) == sorted(two_groups.nodes(), key=str)
+        assert len(seen) == len(set(seen))
+
+
+class TestComponentSubgraphs:
+    def test_subgraphs_preserve_edges(self):
+        g = UncertainGraph(edges=[(1, 2, 0.5), (3, 4, 0.7)])
+        subs = component_subgraphs(g)
+        sizes = sorted(s.num_edges for s in subs)
+        assert sizes == [1, 1]
+        total_nodes = sum(s.num_nodes for s in subs)
+        assert total_nodes == 4
+
+    def test_probability_preserved(self):
+        g = UncertainGraph(edges=[(1, 2, 0.42)])
+        (sub,) = component_subgraphs(g)
+        assert sub.probability(1, 2) == 0.42
+
+
+class TestIsConnected:
+    def test_empty_counts_as_connected(self):
+        assert is_connected(UncertainGraph())
+
+    def test_connected(self, triangle):
+        assert is_connected(triangle)
+
+    def test_disconnected(self):
+        g = UncertainGraph(edges=[(1, 2, 0.5)], nodes=[9])
+        assert not is_connected(g)

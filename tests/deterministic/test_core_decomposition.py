@@ -1,0 +1,105 @@
+"""Unit tests for k-core decomposition (verified against networkx)."""
+
+import networkx as nx
+import pytest
+
+from repro import UncertainGraph
+from repro.deterministic.core_decomposition import (
+    core_numbers,
+    degeneracy,
+    degeneracy_ordering,
+    k_core,
+)
+from repro.errors import ParameterError
+from tests.conftest import make_clique, make_random_graph
+
+
+def to_networkx(graph: UncertainGraph) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(graph.nodes())
+    g.add_edges_from(graph.deterministic_edges())
+    return g
+
+
+class TestCoreNumbers:
+    def test_empty_graph(self):
+        assert core_numbers(UncertainGraph()) == {}
+
+    def test_isolated_nodes_have_core_zero(self):
+        g = UncertainGraph(nodes=[1, 2])
+        assert core_numbers(g) == {1: 0, 2: 0}
+
+    def test_path(self, path_graph):
+        assert set(core_numbers(path_graph).values()) == {1}
+
+    def test_clique(self):
+        g = make_clique(5, 0.9)
+        assert set(core_numbers(g).values()) == {4}
+
+    def test_clique_with_pendant(self):
+        g = make_clique(4, 0.9)
+        g.add_edge(0, 99, 0.5)
+        cores = core_numbers(g)
+        assert cores[99] == 1
+        assert cores[0] == 3
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_networkx(self, seed):
+        g = make_random_graph(25, 0.25, seed=seed)
+        assert core_numbers(g) == nx.core_number(to_networkx(g))
+
+
+class TestDegeneracy:
+    def test_empty(self):
+        assert degeneracy(UncertainGraph()) == 0
+
+    def test_clique(self):
+        assert degeneracy(make_clique(6, 0.5)) == 5
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_max_core_number(self, seed):
+        g = make_random_graph(20, 0.3, seed=seed)
+        assert degeneracy(g) == max(nx.core_number(to_networkx(g)).values())
+
+
+class TestDegeneracyOrdering:
+    def test_covers_all_nodes(self, two_groups):
+        order = degeneracy_ordering(two_groups)
+        assert sorted(order, key=str) == sorted(two_groups.nodes(), key=str)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_later_neighbors_bounded_by_degeneracy(self, seed):
+        g = make_random_graph(22, 0.3, seed=seed)
+        order = degeneracy_ordering(g)
+        position = {u: i for i, u in enumerate(order)}
+        delta = degeneracy(g)
+        for u in order:
+            later = sum(
+                1 for v in g.neighbors(u) if position[v] > position[u]
+            )
+            assert later <= delta
+
+    def test_empty(self):
+        assert degeneracy_ordering(UncertainGraph()) == []
+
+
+class TestKCore:
+    def test_negative_k_rejected(self, triangle):
+        with pytest.raises(ParameterError):
+            k_core(triangle, -1)
+
+    def test_k_zero_keeps_everything(self, two_groups):
+        assert k_core(two_groups, 0) == set(two_groups.nodes())
+
+    def test_pendant_removed(self):
+        g = make_clique(4, 0.9)
+        g.add_edge(0, 99, 0.5)
+        assert k_core(g, 2) == {0, 1, 2, 3}
+
+    def test_too_large_k_is_empty(self, triangle):
+        assert k_core(triangle, 3) == set()
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_matches_networkx(self, k):
+        g = make_random_graph(25, 0.25, seed=3)
+        assert k_core(g, k) == set(nx.k_core(to_networkx(g), k).nodes())

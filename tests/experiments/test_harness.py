@@ -1,0 +1,121 @@
+"""Unit tests for the experiment harness plumbing."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.harness import (
+    ExperimentResult,
+    consume,
+    format_table,
+    run_with_timing,
+)
+
+
+class TestExperimentResult:
+    def test_add_and_columns(self):
+        result = ExperimentResult("X", "test")
+        result.add(a=1, b=2.0)
+        result.add(a=3, b=4.0)
+        assert result.column("a") == [1, 3]
+
+    def test_filtered(self):
+        result = ExperimentResult("X", "test")
+        result.add(dataset="d1", v=1)
+        result.add(dataset="d2", v=2)
+        assert result.filtered(dataset="d2") == [{"dataset": "d2", "v": 2}]
+
+    def test_render_flat(self):
+        result = ExperimentResult("Fig. X", "demo")
+        result.add(k=6, seconds=0.5)
+        text = result.render()
+        assert "Fig. X" in text
+        assert "k" in text and "seconds" in text
+        assert "0.5" in text
+
+    def test_render_grouped(self):
+        result = ExperimentResult("Fig. X", "demo", group_by="dataset")
+        result.add(dataset="a", v=1)
+        result.add(dataset="b", v=2)
+        text = result.render()
+        assert "dataset = a" in text
+        assert "dataset = b" in text
+
+    def test_render_empty(self):
+        result = ExperimentResult("T", "t")
+        assert "(no rows)" in result.render()
+
+    def test_notes_rendered(self):
+        result = ExperimentResult("T", "t", notes="hello")
+        assert "hello" in result.render()
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        rows = [{"col": 1, "value": 10}, {"col": 200, "value": 2}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("col")
+
+    def test_heterogeneous_rows(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = format_table(rows)
+        assert "b" in text
+
+    def test_float_formatting(self):
+        text = format_table([{"x": 0.000012345}])
+        assert "e-05" in text
+
+    def test_empty(self):
+        assert format_table([]) == "(empty)"
+
+
+class TestRunWithTiming:
+    def test_returns_result_and_best(self):
+        result, seconds = run_with_timing(lambda: "ok", repeats=3)
+        assert result == "ok"
+        assert seconds >= 0
+
+    def test_repeats_must_be_positive(self):
+        with pytest.raises(ExperimentError):
+            run_with_timing(lambda: None, repeats=0)
+
+
+class TestConsume:
+    def test_counts_items(self):
+        assert consume(iter(range(5))) == 5
+
+    def test_empty(self):
+        assert consume(iter(())) == 0
+
+
+class TestReportGenerator:
+    def test_markdown_structure(self):
+        from repro.experiments.report import generate_report
+
+        fake = ExperimentResult("Fig. X", "demo", group_by="dataset")
+        fake.add(dataset="d1", seconds=0.25)
+        fake.add(dataset="d2", seconds=1.5)
+        text = generate_report(
+            runners={"fig2": lambda: fake}
+        )
+        assert "# Reproduction report" in text
+        assert "## Fig. X — demo" in text
+        assert "| seconds |" in text
+        assert "dataset = d1" in text
+
+    def test_flat_result(self):
+        from repro.experiments.report import generate_report
+
+        fake = ExperimentResult("Table Y", "flat")
+        fake.add(a=1, b=2)
+        text = generate_report(runners={"table1": lambda: fake}) 
+        assert "| a | b |" in text
+        assert "| 1 | 2 |" in text
+
+    def test_empty_result(self):
+        from repro.experiments.report import generate_report
+
+        fake = ExperimentResult("Fig. Z", "empty")
+        text = generate_report(runners={"fig3": lambda: fake})
+        assert "_(no rows)_" in text

@@ -1,0 +1,142 @@
+"""Property-based tests for IO, transforms, statistics and maintenance."""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import KTauCoreMaintainer, UncertainGraph, dp_core_plus
+from repro.uncertain.io import dumps_edge_list, loads_edge_list
+from repro.uncertain.statistics import (
+    expected_degree,
+    expected_num_edges,
+    probability_histogram,
+)
+from repro.uncertain.transform import (
+    condition_on_edge,
+    rescale_probabilities,
+    threshold_filter,
+)
+from repro.uncertain.clique_prob import clique_probability
+
+probabilities = st.floats(
+    min_value=0.01, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def uncertain_graphs(draw, max_nodes=8):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    graph = UncertainGraph(nodes=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if draw(st.booleans()):
+                graph.add_edge(u, v, draw(probabilities))
+    return graph
+
+
+relaxed = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@relaxed
+@given(uncertain_graphs())
+def test_edge_list_round_trip(graph):
+    assert loads_edge_list(dumps_edge_list(graph)) == graph
+
+
+@relaxed
+@given(uncertain_graphs())
+def test_copy_equals_original(graph):
+    clone = graph.copy()
+    assert clone == graph
+    assert clone.is_subgraph_of(graph)
+    assert graph.is_subgraph_of(clone)
+
+
+@relaxed
+@given(uncertain_graphs(), probabilities)
+def test_threshold_filter_is_subgraph(graph, threshold):
+    filtered = threshold_filter(graph, threshold)
+    assert filtered.is_subgraph_of(graph)
+    assert set(filtered.nodes()) == set(graph.nodes())
+    assert all(p >= threshold for _, _, p in filtered.edges())
+
+
+@relaxed
+@given(uncertain_graphs(), st.floats(min_value=0.1, max_value=0.9))
+def test_rescale_lowers_probabilities(graph, factor):
+    rescaled = rescale_probabilities(graph, factor)
+    for u, v, p in graph.edges():
+        assert rescaled.probability(u, v) <= p + 1e-12
+
+
+@relaxed
+@given(uncertain_graphs(), st.data())
+def test_conditioning_total_probability(graph, data):
+    edges = list(graph.edges())
+    if not edges:
+        return
+    u, v, p = data.draw(st.sampled_from(edges))
+    nodes = graph.nodes()
+    subset = data.draw(
+        st.lists(st.sampled_from(nodes), unique=True, min_size=2)
+    )
+    base = clique_probability(graph, subset)
+    present = clique_probability(
+        condition_on_edge(graph, u, v, True), subset
+    )
+    absent = clique_probability(
+        condition_on_edge(graph, u, v, False), subset
+    )
+    # Eq. (2) multiplies only edges that exist between subset members.
+    # With both endpoints inside: conditioning on presence sets the
+    # factor to 1 and conditioning on absence drops it, so both equal
+    # base / p_uv.  With an endpoint outside, the edge never contributed.
+    if u in subset and v in subset:
+        assert math.isclose(base, p * present, rel_tol=1e-9)
+        assert math.isclose(present, absent, rel_tol=1e-9)
+    else:
+        assert math.isclose(base, present, rel_tol=1e-9)
+        assert math.isclose(base, absent, rel_tol=1e-9)
+
+
+@relaxed
+@given(uncertain_graphs())
+def test_expected_degree_linearity(graph):
+    total = sum(expected_degree(graph, u) for u in graph)
+    assert math.isclose(total, 2 * expected_num_edges(graph), rel_tol=1e-9)
+
+
+@relaxed
+@given(uncertain_graphs(), st.integers(min_value=1, max_value=20))
+def test_histogram_counts_every_edge(graph, bins):
+    hist = probability_histogram(graph, bins)
+    assert sum(hist) == graph.num_edges
+    assert len(hist) == bins
+
+
+@relaxed
+@given(uncertain_graphs(), st.data())
+def test_maintainer_matches_batch_after_one_update(graph, data):
+    k = data.draw(st.integers(min_value=1, max_value=3))
+    tau = data.draw(st.sampled_from([0.1, 0.4, 0.8]))
+    maintainer = KTauCoreMaintainer(graph, k, tau)
+    nodes = graph.nodes()
+    if len(nodes) < 2:
+        return
+    u = data.draw(st.sampled_from(nodes))
+    v = data.draw(st.sampled_from([x for x in nodes if x != u]))
+    if graph.has_edge(u, v):
+        if data.draw(st.booleans()):
+            maintainer.remove_edge(u, v)
+        else:
+            maintainer.set_probability(u, v, data.draw(probabilities))
+    else:
+        maintainer.add_edge(u, v, data.draw(probabilities))
+    assert maintainer.core == frozenset(
+        dp_core_plus(maintainer.graph, k, tau)
+    )

@@ -1,0 +1,85 @@
+"""Meta-tests on the public API surface.
+
+Keeps the packaging honest: everything exported is importable and
+documented, and the package has no hidden third-party runtime imports.
+"""
+
+import importlib
+import pkgutil
+
+import repro
+
+
+class TestPublicAPI:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_all_public_objects_documented(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if isinstance(obj, str):  # __version__
+                continue
+            assert obj.__doc__, f"{name} lacks a docstring"
+
+    def test_version_is_semver(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_subpackages_export_documented_names(self):
+        import repro.core
+        import repro.datasets
+        import repro.uncertain
+
+        for module in (repro.core, repro.datasets, repro.uncertain):
+            for name in module.__all__:
+                obj = getattr(module, name)
+                assert obj.__doc__, f"{module.__name__}.{name}"
+
+
+class TestNoHiddenDependencies:
+    def test_every_module_imports_cleanly(self):
+        for info in pkgutil.walk_packages(
+            repro.__path__, prefix="repro."
+        ):
+            importlib.import_module(info.name)
+
+    def test_no_third_party_imports_in_source(self):
+        import pathlib
+
+        root = pathlib.Path(repro.__file__).parent
+        forbidden = ("numpy", "scipy", "networkx", "pandas")
+        for path in root.rglob("*.py"):
+            text = path.read_text()
+            for package in forbidden:
+                assert f"import {package}" not in text, (
+                    f"{path} imports {package}"
+                )
+                assert f"from {package}" not in text, (
+                    f"{path} imports {package}"
+                )
+
+    def test_every_module_has_docstring(self):
+        import pathlib
+
+        root = pathlib.Path(repro.__file__).parent
+        for path in root.rglob("*.py"):
+            text = path.read_text().lstrip()
+            if path.name == "py.typed":
+                continue
+            assert text.startswith('"""'), f"{path} lacks a docstring"
+
+
+class TestPackagingConsistency:
+    def test_version_matches_pyproject(self):
+        import pathlib
+
+        root = pathlib.Path(repro.__file__).resolve().parents[2]
+        pyproject = (root / "pyproject.toml").read_text()
+        assert f'version = "{repro.__version__}"' in pyproject
+
+    def test_cli_entry_point_importable(self):
+        from repro.cli import main
+
+        assert callable(main)

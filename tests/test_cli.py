@@ -1,0 +1,110 @@
+"""Tests for the ``python -m repro`` experiment CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out and "table1" in out
+
+    def test_table1_runs(self, capsys):
+        assert main(["table1", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "dblp_like" in out
+
+    def test_fig4_runs(self, capsys):
+        assert main(["fig4", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out
+
+    def test_out_file(self, tmp_path, capsys):
+        target = tmp_path / "report.txt"
+        assert main(["table1", "--scale", "0.05", "--out", str(target)]) == 0
+        assert "Table I" in target.read_text()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])
+
+    def test_no_baselines_flag(self, capsys):
+        assert main(["fig3", "--scale", "0.04", "--no-baselines"]) == 0
+        out = capsys.readouterr().out
+        assert "MUCE++_seconds" in out
+        assert "MUCE_seconds" not in out
+
+
+class TestMineCommand:
+    def _write_graph(self, tmp_path):
+        path = tmp_path / "g.txt"
+        lines = []
+        import itertools
+
+        for u, v in itertools.combinations(["a", "b", "c", "d"], 2):
+            lines.append(f"{u} {v} 0.95")
+        lines.append("d e 0.2")
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_mine_enumerate(self, tmp_path, capsys):
+        path = self._write_graph(tmp_path)
+        code = main(
+            ["mine", "--input", str(path), "-k", "3", "--tau", "0.5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 maximal (k, tau)-clique(s)" in out
+        assert "4 nodes" in out
+
+    def test_mine_maximum(self, tmp_path, capsys):
+        path = self._write_graph(tmp_path)
+        code = main(
+            ["mine", "--input", str(path), "-k", "3", "--tau", "0.5",
+             "--mode", "maximum"]
+        )
+        assert code == 0
+        assert "4 nodes" in capsys.readouterr().out
+
+    def test_mine_top(self, tmp_path, capsys):
+        path = self._write_graph(tmp_path)
+        code = main(
+            ["mine", "--input", str(path), "-k", "1", "--tau", "0.1",
+             "--mode", "top", "--top", "1"]
+        )
+        assert code == 0
+        assert "1 maximal (k, tau)-clique(s)" in capsys.readouterr().out
+
+    def test_mine_requires_input(self):
+        with pytest.raises(SystemExit):
+            main(["mine"])
+
+
+class TestDatasetCommand:
+    def test_export_round_trips(self, tmp_path, capsys):
+        target = tmp_path / "ds.txt"
+        code = main(
+            ["dataset", "--name", "cahepth_like", "--scale", "0.05",
+             "--output", str(target)]
+        )
+        assert code == 0
+        from repro.uncertain.io import read_edge_list
+        from repro.datasets import load_dataset
+
+        assert read_edge_list(target) == load_dataset(
+            "cahepth_like", scale=0.05
+        )
+
+    def test_unknown_dataset(self, tmp_path, capsys):
+        code = main(
+            ["dataset", "--name", "bogus", "--output",
+             str(tmp_path / "x.txt")]
+        )
+        assert code == 2
+
+    def test_dataset_requires_name_and_output(self):
+        with pytest.raises(SystemExit):
+            main(["dataset"])

@@ -1,0 +1,118 @@
+"""End-to-end integration tests across modules.
+
+Each test runs a realistic pipeline (dataset -> pruning -> search ->
+verification) at small scale, crossing the module boundaries the unit
+tests exercise in isolation.
+"""
+
+import pytest
+
+from repro import (
+    EnumerationStats,
+    KTauCoreMaintainer,
+    clique_probability,
+    cut_optimize,
+    dp_core_plus,
+    max_uc_plus,
+    muce_plus_plus,
+    top_r_maximal_cliques,
+    topk_core,
+    verify_maximal_cliques,
+)
+from repro.casestudy import detect_complexes_muce, score_predicted_complexes
+from repro.datasets import load_dataset, ppi_network
+from repro.uncertain.io import loads_edge_list, dumps_edge_list
+
+
+SCALE = 0.08
+
+
+@pytest.fixture(scope="module")
+def small_dblp():
+    return load_dataset("dblp_like", scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def small_wikitalk():
+    return load_dataset("wikitalk_like", scale=SCALE)
+
+
+class TestFullEnumerationPipeline:
+    def test_prune_cut_enumerate_verify(self, small_dblp):
+        k, tau = 6, 0.1
+        survivors = topk_core(small_dblp, k, tau).nodes
+        assert survivors <= frozenset(small_dblp.nodes())
+
+        pruned = small_dblp.induced_subgraph(survivors)
+        result = cut_optimize(pruned, k, tau)
+        assert sum(c.num_nodes for c in result.components) == len(survivors)
+
+        stats = EnumerationStats()
+        cliques = list(muce_plus_plus(small_dblp, k, tau, stats=stats))
+        assert stats.cliques == len(cliques)
+        for clique in cliques:
+            assert clique <= survivors
+
+        report = verify_maximal_cliques(small_dblp, cliques, k, tau)
+        assert report.ok, report.summary()
+
+    def test_maximum_is_consistent_with_enumeration(self, small_wikitalk):
+        k, tau = 6, 0.1
+        cliques = list(muce_plus_plus(small_wikitalk, k, tau))
+        largest = max((len(c) for c in cliques), default=0)
+        best = max_uc_plus(small_wikitalk, k, tau)
+        assert (len(best) if best else 0) == largest
+
+    def test_top_r_heads_the_enumeration(self, small_wikitalk):
+        k, tau = 6, 0.1
+        top = top_r_maximal_cliques(small_wikitalk, 3, k, tau)
+        all_sizes = sorted(
+            (len(c) for c in muce_plus_plus(small_wikitalk, k, tau)),
+            reverse=True,
+        )
+        assert [len(c) for c in top] == all_sizes[: len(top)]
+
+
+class TestRoundTripPipeline:
+    def test_serialize_and_remine(self, small_dblp):
+        k, tau = 6, 0.1
+        text = dumps_edge_list(small_dblp)
+        back = loads_edge_list(text)
+        assert set(muce_plus_plus(back, k, tau)) == set(
+            muce_plus_plus(small_dblp, k, tau)
+        )
+
+
+class TestMaintenanceAgainstBatch:
+    def test_stream_then_batch_agree(self, small_wikitalk):
+        k, tau = 6, 0.1
+        maintainer = KTauCoreMaintainer(small_wikitalk, k, tau)
+        # Boost a handful of weak edges and delete a few strong ones.
+        edges = sorted(
+            small_wikitalk.edges(), key=lambda e: (str(e[0]), str(e[1]))
+        )
+        for u, v, p in edges[:5]:
+            maintainer.set_probability(u, v, min(1.0, p * 1.5))
+        for u, v, _ in edges[5:8]:
+            maintainer.remove_edge(u, v)
+        assert maintainer.core == frozenset(
+            dp_core_plus(maintainer.graph, k, tau)
+        )
+
+
+class TestCaseStudyPipeline:
+    def test_detection_beats_noise(self):
+        network = ppi_network(
+            n_proteins=150, n_complexes=6, background_interactions=250,
+            seed=3,
+        )
+        predicted = detect_complexes_muce(network.graph, k=5, tau=0.1)
+        score = score_predicted_complexes(
+            predicted, list(network.complexes)
+        )
+        assert score.precision > 0.7
+        # Every prediction is a genuine high-probability clique.
+        for clique in predicted:
+            assert clique_probability(network.graph, clique) >= 0.1 * (
+                1 - 1e-9
+            )

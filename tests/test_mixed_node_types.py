@@ -1,0 +1,76 @@
+"""Mixed/hashable node types and determinism guarantees.
+
+Nodes may be any hashable; the library promises a deterministic total
+order even when node types cannot be compared directly (ints vs strings
+vs tuples), and identical output across repeated runs.
+"""
+
+from repro import (
+    UncertainGraph,
+    dp_core_plus,
+    max_uc_plus,
+    muce_plus_plus,
+    topk_core,
+    top_r_maximal_cliques,
+)
+
+
+def mixed_graph():
+    """A strong 4-clique over four differently-typed nodes plus noise."""
+    g = UncertainGraph()
+    members = [1, "one", (1, 0), frozenset({1})]
+    import itertools
+
+    for u, v in itertools.combinations(members, 2):
+        g.add_edge(u, v, 0.95)
+    g.add_edge(1, "noise", 0.2)
+    g.add_edge("one", 2.5, 0.2)
+    return g, members
+
+
+class TestMixedNodeTypes:
+    def test_enumeration(self):
+        g, members = mixed_graph()
+        cliques = list(muce_plus_plus(g, 3, 0.5))
+        assert cliques == [frozenset(members)]
+
+    def test_maximum(self):
+        g, members = mixed_graph()
+        best = max_uc_plus(g, 3, 0.5)
+        assert best == frozenset(members)
+
+    def test_cores(self):
+        g, members = mixed_graph()
+        assert dp_core_plus(g, 3, 0.5) == set(members)
+        assert set(topk_core(g, 3, 0.5).nodes) == set(members)
+
+    def test_top_r(self):
+        g, members = mixed_graph()
+        (top,) = top_r_maximal_cliques(g, 1, 3, 0.5)
+        assert top == frozenset(members)
+
+
+class TestDeterminism:
+    def test_repeated_enumeration_identical_order(self):
+        from tests.conftest import make_random_graph
+
+        g = make_random_graph(14, 0.55, seed=77)
+        first = list(muce_plus_plus(g, 2, 0.2))
+        second = list(muce_plus_plus(g, 2, 0.2))
+        assert first == second  # order included, not just the set
+
+    def test_maximum_witness_is_stable(self):
+        from tests.conftest import make_random_graph
+
+        g = make_random_graph(14, 0.55, seed=78)
+        assert max_uc_plus(g, 2, 0.2) == max_uc_plus(g, 2, 0.2)
+
+    def test_stats_are_stable(self):
+        from repro import EnumerationStats
+        from tests.conftest import make_random_graph
+
+        g = make_random_graph(14, 0.55, seed=79)
+        a, b = EnumerationStats(), EnumerationStats()
+        list(muce_plus_plus(g, 2, 0.2, stats=a))
+        list(muce_plus_plus(g, 2, 0.2, stats=b))
+        assert a == b

@@ -1,0 +1,124 @@
+"""Unit tests for utilities and the exception hierarchy."""
+
+import time
+
+import pytest
+
+from repro import (
+    EdgeNotFoundError,
+    GraphError,
+    InvalidProbabilityError,
+    NodeNotFoundError,
+    ParameterError,
+    ReproError,
+)
+from repro.errors import DatasetError, ExperimentError
+from repro.utils import (
+    FLOAT_EPS,
+    Stopwatch,
+    prob_at_least,
+    prob_below,
+    timed,
+    validate_k,
+    validate_probability,
+    validate_tau,
+)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            GraphError,
+            NodeNotFoundError,
+            EdgeNotFoundError,
+            InvalidProbabilityError,
+            ParameterError,
+            DatasetError,
+            ExperimentError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_node_not_found_is_key_error(self):
+        assert issubclass(NodeNotFoundError, KeyError)
+
+    def test_parameter_error_is_value_error(self):
+        assert issubclass(ParameterError, ValueError)
+
+    def test_messages_carry_context(self):
+        err = EdgeNotFoundError("a", "b")
+        assert "a" in str(err) and "b" in str(err)
+        assert err.edge == ("a", "b")
+
+
+class TestThresholdComparisons:
+    def test_exact_threshold_passes(self):
+        assert prob_at_least(0.5, 0.5)
+
+    def test_tiny_shortfall_tolerated(self):
+        assert prob_at_least(0.5 - 0.5 * FLOAT_EPS * 0.5, 0.5)
+
+    def test_clear_shortfall_fails(self):
+        assert not prob_at_least(0.4, 0.5)
+
+    def test_below_is_exact_negation(self):
+        for value in (0.4999999999, 0.5, 0.5000000001):
+            assert prob_below(value, 0.5) is not prob_at_least(value, 0.5)
+
+
+class TestValidators:
+    def test_validate_probability_passthrough(self):
+        assert validate_probability(0.5) == 0.5
+        assert validate_probability(1) == 1.0
+
+    @pytest.mark.parametrize("bad", [0, -0.5, 1.01, "x", None])
+    def test_validate_probability_rejects(self, bad):
+        with pytest.raises((InvalidProbabilityError, ParameterError)):
+            validate_probability(bad)
+
+    def test_validate_k(self):
+        assert validate_k(0) == 0
+        assert validate_k(10) == 10
+
+    @pytest.mark.parametrize("bad", [-1, 2.5, "3", True])
+    def test_validate_k_rejects(self, bad):
+        with pytest.raises(ParameterError):
+            validate_k(bad)
+
+    def test_validate_tau(self):
+        assert validate_tau(0.1) == 0.1
+        assert validate_tau(1) == 1.0
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.1, "x"])
+    def test_validate_tau_rejects(self, bad):
+        with pytest.raises(ParameterError):
+            validate_tau(bad)
+
+
+class TestTiming:
+    def test_timed_returns_result_and_elapsed(self):
+        result, elapsed = timed(lambda: 42)
+        assert result == 42
+        assert elapsed >= 0.0
+
+    def test_stopwatch_laps_accumulate(self):
+        watch = Stopwatch()
+        with watch.lap("a"):
+            time.sleep(0.001)
+        with watch.lap("a"):
+            pass
+        with watch.lap("b"):
+            pass
+        assert watch.seconds("a") > 0
+        assert watch.seconds("missing") == 0.0
+        assert watch.total == pytest.approx(
+            watch.seconds("a") + watch.seconds("b")
+        )
+
+    def test_stopwatch_manual_add(self):
+        watch = Stopwatch()
+        watch.add("x", 1.5)
+        watch.add("x", 0.5)
+        assert watch.seconds("x") == 2.0

@@ -1,0 +1,104 @@
+"""Unit tests for edge-list IO."""
+
+import math
+
+import pytest
+
+from repro import UncertainGraph
+from repro.errors import GraphError
+from repro.uncertain.io import (
+    dumps_edge_list,
+    loads_edge_list,
+    read_edge_list,
+    read_weighted_edge_list,
+    write_edge_list,
+)
+
+
+class TestLoads:
+    def test_basic(self):
+        g = loads_edge_list("1 2 0.5\n2 3 0.75\n")
+        assert g.num_nodes == 3
+        assert g.probability(1, 2) == 0.5
+
+    def test_comments_and_blanks(self):
+        text = "# header\n\n1 2 0.5  # trailing comment\n"
+        g = loads_edge_list(text)
+        assert g.num_edges == 1
+
+    def test_string_nodes(self):
+        g = loads_edge_list("alice bob 0.9\n")
+        assert g.has_edge("alice", "bob")
+
+    def test_int_nodes_parsed_as_int(self):
+        g = loads_edge_list("7 8 1.0\n")
+        assert g.has_node(7)
+        assert not g.has_node("7")
+
+    def test_malformed_line(self):
+        with pytest.raises(GraphError, match="line 1"):
+            loads_edge_list("1 2\n")
+
+    def test_bad_probability_value(self):
+        with pytest.raises(GraphError, match="line 1"):
+            loads_edge_list("1 2 banana\n")
+
+    def test_out_of_range_probability(self):
+        with pytest.raises(GraphError, match="line 2"):
+            loads_edge_list("1 2 0.5\n2 3 1.5\n")
+
+    def test_duplicate_edge(self):
+        with pytest.raises(GraphError, match="line 2"):
+            loads_edge_list("1 2 0.5\n2 1 0.6\n")
+
+
+class TestRoundTrip:
+    def test_dumps_loads_round_trip(self, two_groups):
+        text = dumps_edge_list(two_groups)
+        back = loads_edge_list(text)
+        assert back == two_groups
+
+    def test_file_round_trip(self, tmp_path, triangle):
+        path = tmp_path / "graph.txt"
+        write_edge_list(triangle, path)
+        back = read_edge_list(path)
+        assert back == triangle
+
+    def test_isolated_nodes_round_trip(self):
+        g = UncertainGraph(edges=[(1, 2, 0.5)], nodes=[99])
+        text = dumps_edge_list(g)
+        assert "%node 99" in text
+        assert loads_edge_list(text) == g
+
+    def test_bad_node_directive(self):
+        with pytest.raises(GraphError, match="line 1"):
+            loads_edge_list("%node a b\n")
+
+    def test_float_precision_preserved(self, tmp_path):
+        g = UncertainGraph(edges=[(1, 2, 0.123456789012345)])
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        assert read_edge_list(path).probability(1, 2) == 0.123456789012345
+
+
+class TestWeighted:
+    def test_weight_conversion(self, tmp_path):
+        path = tmp_path / "weighted.txt"
+        path.write_text("1 2 4\n2 3 1\n")
+        g = read_weighted_edge_list(
+            path, lambda w: 1.0 - math.exp(-w / 2.0)
+        )
+        assert g.probability(1, 2) == pytest.approx(1 - math.exp(-2.0))
+        assert g.probability(2, 3) == pytest.approx(1 - math.exp(-0.5))
+
+    def test_conversion_errors_are_graph_errors(self, tmp_path):
+        path = tmp_path / "weighted.txt"
+        path.write_text("1 2 -3\n")
+
+        def model(w):
+            if w <= 0:
+                raise GraphError("bad weight")
+            return 0.5
+
+        with pytest.raises(GraphError):
+            read_weighted_edge_list(path, model)

@@ -1,0 +1,151 @@
+"""Unit tests for the possible-world semantics."""
+
+import pytest
+
+from repro import UncertainGraph, clique_probability
+from repro.errors import ParameterError
+from repro.uncertain.possible_worlds import (
+    enumerate_possible_worlds,
+    estimate_clique_probability,
+    exact_degree_distribution,
+    sample_possible_world,
+    sample_possible_worlds,
+    world_probability,
+)
+
+
+class TestEnumeration:
+    def test_world_count_is_two_to_m(self, triangle):
+        worlds = list(enumerate_possible_worlds(triangle))
+        assert len(worlds) == 2 ** 3
+
+    def test_probabilities_sum_to_one(self, triangle):
+        total = sum(w.probability for w in enumerate_possible_worlds(triangle))
+        assert total == pytest.approx(1.0)
+
+    def test_full_world_probability(self, triangle):
+        full = max(
+            enumerate_possible_worlds(triangle), key=lambda w: len(w.edges)
+        )
+        assert full.probability == pytest.approx(0.9 * 0.8 * 0.5)
+
+    def test_empty_world_probability(self, triangle):
+        empty = min(
+            enumerate_possible_worlds(triangle), key=lambda w: len(w.edges)
+        )
+        assert empty.probability == pytest.approx(0.1 * 0.2 * 0.5)
+
+    def test_rejects_large_graphs(self):
+        g = UncertainGraph()
+        for i in range(30):
+            g.add_edge(i, i + 100, 0.5)
+        with pytest.raises(ParameterError):
+            list(enumerate_possible_worlds(g))
+
+    def test_clique_probability_matches_world_sum(self, triangle):
+        # CPr(C) must equal the total probability of worlds where C is
+        # a clique (Definition 1 vs the possible-world view).
+        by_worlds = sum(
+            w.probability
+            for w in enumerate_possible_worlds(triangle)
+            if w.is_clique(["a", "b", "c"])
+        )
+        assert by_worlds == pytest.approx(
+            clique_probability(triangle, ["a", "b", "c"])
+        )
+
+    def test_world_helpers(self, triangle):
+        full = max(
+            enumerate_possible_worlds(triangle), key=lambda w: len(w.edges)
+        )
+        assert full.has_edge("a", "b")
+        assert full.degree("a") == 2
+
+
+class TestWorldProbability:
+    def test_specific_world(self, triangle):
+        prob = world_probability(triangle, [("a", "b")])
+        assert prob == pytest.approx(0.9 * 0.2 * 0.5)
+
+    def test_all_edges(self, triangle):
+        prob = world_probability(triangle, [("a", "b"), ("b", "c"), ("a", "c")])
+        assert prob == pytest.approx(0.9 * 0.8 * 0.5)
+
+
+class TestSampling:
+    def test_sampling_is_seeded(self, triangle):
+        a = list(sample_possible_worlds(triangle, 20, seed=5))
+        b = list(sample_possible_worlds(triangle, 20, seed=5))
+        assert [w.edges for w in a] == [w.edges for w in b]
+
+    def test_sample_count(self, triangle):
+        assert len(list(sample_possible_worlds(triangle, 7, seed=1))) == 7
+
+    def test_negative_count_rejected(self, triangle):
+        with pytest.raises(ParameterError):
+            list(sample_possible_worlds(triangle, -1))
+
+    def test_single_sample_edges_subset(self, triangle):
+        world = sample_possible_world(triangle)
+        all_edges = {
+            frozenset((u, v)) for u, v, _ in triangle.edges()
+        }
+        assert world.edges <= all_edges
+
+    def test_edge_frequency_approximates_probability(self):
+        g = UncertainGraph(edges=[(0, 1, 0.7)])
+        hits = sum(
+            1
+            for w in sample_possible_worlds(g, 4000, seed=42)
+            if w.has_edge(0, 1)
+        )
+        assert hits / 4000 == pytest.approx(0.7, abs=0.04)
+
+
+class TestEstimateCliqueProbability:
+    def test_matches_closed_form(self, triangle):
+        estimate = estimate_clique_probability(
+            triangle, ["a", "b", "c"], samples=20000, seed=3
+        )
+        assert estimate == pytest.approx(0.36, abs=0.02)
+
+    def test_non_clique_is_zero(self, path_graph):
+        assert estimate_clique_probability(path_graph, [0, 1, 2]) == 0.0
+
+    def test_bad_sample_count(self, triangle):
+        with pytest.raises(ParameterError):
+            estimate_clique_probability(triangle, ["a", "b"], samples=0)
+
+
+class TestExactDegreeDistribution:
+    def test_sums_to_one(self, triangle):
+        dist = exact_degree_distribution(triangle, "a")
+        assert sum(dist) == pytest.approx(1.0)
+
+    def test_length_is_degree_plus_one(self, triangle):
+        assert len(exact_degree_distribution(triangle, "a")) == 3
+
+    def test_two_bernoulli_convolution(self, triangle):
+        # a has edges 0.9 (to b) and 0.5 (to c).
+        dist = exact_degree_distribution(triangle, "a")
+        assert dist[0] == pytest.approx(0.1 * 0.5)
+        assert dist[1] == pytest.approx(0.9 * 0.5 + 0.1 * 0.5)
+        assert dist[2] == pytest.approx(0.9 * 0.5)
+
+    def test_isolated_node(self):
+        g = UncertainGraph(nodes=[1])
+        assert exact_degree_distribution(g, 1) == [1.0]
+
+    def test_matches_world_enumeration(self, two_groups):
+        dist = exact_degree_distribution(two_groups, "hub")
+        by_worlds = [0.0] * 5
+        from repro.uncertain.possible_worlds import enumerate_possible_worlds
+
+        sub = two_groups.induced_subgraph(["hub", "a1", "a2", "b1", "b2"])
+        dist_sub = exact_degree_distribution(sub, "hub")
+        for world in enumerate_possible_worlds(sub):
+            by_worlds[world.degree("hub")] += world.probability
+        for got, expected in zip(dist_sub, by_worlds):
+            assert got == pytest.approx(expected)
+        # The hub's incident edges are identical in the full graph.
+        assert dist == pytest.approx(dist_sub)

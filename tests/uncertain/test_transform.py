@@ -1,0 +1,101 @@
+"""Unit tests for uncertain-graph transformations."""
+
+import pytest
+
+from repro import clique_probability
+from repro.errors import EdgeNotFoundError, ParameterError
+from repro.uncertain.transform import (
+    condition_on_edge,
+    filter_edges,
+    rescale_probabilities,
+    threshold_filter,
+)
+
+
+class TestFilterEdges:
+    def test_predicate_applied(self, triangle):
+        result = filter_edges(triangle, lambda u, v, p: p >= 0.8)
+        assert result.num_edges == 2
+        assert not result.has_edge("a", "c")
+
+    def test_nodes_preserved(self, triangle):
+        result = filter_edges(triangle, lambda u, v, p: False)
+        assert set(result.nodes()) == set(triangle.nodes())
+        assert result.num_edges == 0
+
+    def test_input_untouched(self, triangle):
+        filter_edges(triangle, lambda u, v, p: False)
+        assert triangle.num_edges == 3
+
+
+class TestThresholdFilter:
+    def test_drops_weak_edges(self, two_groups):
+        result = threshold_filter(two_groups, 0.5)
+        assert not result.has_edge("hub", "a1")
+        assert result.has_edge("a1", "a2")
+
+    def test_bad_threshold(self, triangle):
+        with pytest.raises(ParameterError):
+            threshold_filter(triangle, 1.5)
+
+    def test_zero_keeps_all(self, triangle):
+        assert threshold_filter(triangle, 0.0) == triangle
+
+    def test_loses_information_vs_exact_semantics(self, triangle):
+        # The motivating contrast: thresholding at 0.6 keeps a path
+        # (a-b, b-c) that is NOT a tau-clique at any tau, while the
+        # probabilistic semantics accounts for the weak a-c edge.
+        kept = threshold_filter(triangle, 0.6)
+        assert kept.num_edges == 2
+        assert clique_probability(triangle, ["a", "b", "c"]) < 0.6
+
+
+class TestRescale:
+    def test_scaling_down(self, triangle):
+        result = rescale_probabilities(triangle, 0.5)
+        assert result.probability("a", "b") == pytest.approx(0.45)
+
+    def test_scaling_up_clamps(self, triangle):
+        result = rescale_probabilities(triangle, 2.0)
+        assert result.probability("a", "b") == 1.0
+        assert result.probability("a", "c") == 1.0
+
+    def test_bad_factor(self, triangle):
+        with pytest.raises(ParameterError):
+            rescale_probabilities(triangle, 0)
+
+
+class TestConditionOnEdge:
+    def test_present(self, triangle):
+        result = condition_on_edge(triangle, "a", "b", present=True)
+        assert result.probability("a", "b") == 1.0
+        assert result.probability("b", "c") == 0.8
+
+    def test_absent(self, triangle):
+        result = condition_on_edge(triangle, "a", "b", present=False)
+        assert not result.has_edge("a", "b")
+        assert result.has_node("a")
+
+    def test_missing_edge(self, triangle):
+        with pytest.raises(EdgeNotFoundError):
+            condition_on_edge(triangle, "a", "zzz", present=True)
+
+    def test_law_of_total_probability(self, triangle):
+        # CPr(C) = p_e * CPr(C | e) + (1 - p_e) * CPr(C | not e).
+        c = ["a", "b", "c"]
+        p_e = triangle.probability("a", "b")
+        given_present = clique_probability(
+            condition_on_edge(triangle, "a", "b", True), c
+        )
+        given_absent = clique_probability(
+            condition_on_edge(triangle, "a", "b", False), c
+        )
+        # Conditioned on absence the set is no longer a clique in ~G, so
+        # its *clique* probability (world where all pairs connect) is 0 —
+        # Eq. (2) however skips missing pairs, so compute it manually.
+        from repro.uncertain.clique_prob import is_clique
+
+        absent_graph = condition_on_edge(triangle, "a", "b", False)
+        assert not is_clique(absent_graph, c)
+        total = p_e * given_present  # + (1 - p_e) * 0
+        assert clique_probability(triangle, c) == pytest.approx(total)
