@@ -1,0 +1,34 @@
+"""repro-lint: AST-based invariant checking for the uncertain-clique stack.
+
+The library's correctness depends on conventions a type checker cannot
+express — tolerant tau comparisons, validated probabilities, seeded
+sampling, frozen input graphs.  This package turns them into machine-checked
+rules (see :mod:`repro.analysis.rules`) behind one API::
+
+    from repro.analysis import run_lint
+    findings = run_lint(["src/repro"])     # [] when the tree is clean
+
+and one console script, ``repro-lint`` (see :mod:`repro.analysis.cli`).
+Rules are documented in ``docs/static_analysis.md``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import FileContext, lint_file, run_lint
+from repro.analysis.findings import Finding, format_findings
+from repro.analysis.pragmas import PragmaSet, parse_pragmas
+from repro.analysis.rules import ALL_RULES, RULES_BY_ID, Rule, get_rules
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "FileContext",
+    "Finding",
+    "PragmaSet",
+    "Rule",
+    "format_findings",
+    "get_rules",
+    "lint_file",
+    "parse_pragmas",
+    "run_lint",
+]

@@ -1,0 +1,94 @@
+"""The ``repro-lint`` console script.
+
+Usage::
+
+    repro-lint [paths ...]            # default: src/repro
+    repro-lint --select RPL001,RPL003 src/repro
+    repro-lint --list-rules
+
+Exit status: 0 when clean, 1 when findings were reported, 2 on usage
+errors (unknown rule id, missing path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.engine import run_lint
+from repro.analysis.findings import format_findings
+from repro.analysis.rules import ALL_RULES, get_rules
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based invariant linter for the uncertain-clique library"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--no-pragmas",
+        action="store_true",
+        help="report findings even where an ignore pragma suppresses them",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule ids and titles, then exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit status."""
+    opts = _build_parser().parse_args(argv)
+
+    if opts.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id}  {rule.title}")
+        return 0
+
+    try:
+        rules = get_rules(
+            opts.select.split(",") if opts.select is not None else None
+        )
+    except ValueError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    missing = [path for path in opts.paths if not Path(path).exists()]
+    if missing:
+        for path in missing:
+            print(f"repro-lint: no such path: {path}", file=sys.stderr)
+        return 2
+
+    findings = run_lint(
+        opts.paths, rules=rules, respect_pragmas=not opts.no_pragmas
+    )
+    if findings:
+        print(format_findings(findings))
+        count = len(findings)
+        plural = "s" if count != 1 else ""
+        print(f"repro-lint: {count} finding{plural}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution shim
+    sys.exit(main())

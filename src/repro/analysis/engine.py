@@ -1,0 +1,129 @@
+"""The repro-lint engine: file discovery, parsing, rule dispatch.
+
+The engine is deliberately tiny: it turns each ``.py`` file into a
+:class:`FileContext` (source, AST, parsed pragmas), hands the context to
+every registered rule, and filters out findings suppressed by a
+``# repro-lint: ignore[...]`` pragma.  All project knowledge lives in the
+rules under :mod:`repro.analysis.rules`.
+
+The public entry point is :func:`run_lint`, which is also what the test
+suite's self-check calls::
+
+    from repro.analysis import run_lint
+    assert run_lint(["src/repro"]) == []
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.pragmas import PragmaSet, parse_pragmas
+from repro.analysis.rules import ALL_RULES, Rule
+
+__all__ = ["FileContext", "iter_python_files", "lint_file", "run_lint"]
+
+#: Pseudo-rule id attached to files the engine cannot parse at all.
+PARSE_ERROR_RULE = "RPL000"
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one source file."""
+
+    #: Path as discovered (kept relative when the input path was relative,
+    #: so reports are stable regardless of the working tree location).
+    display_path: str
+    path: Path
+    source: str
+    tree: ast.Module
+    pragmas: PragmaSet
+
+    def is_file(self, filename: str) -> bool:
+        """Whether this file's basename is ``filename``."""
+        return self.path.name == filename
+
+    def in_directory(self, dirname: str) -> bool:
+        """Whether any parent directory component equals ``dirname``."""
+        return dirname in self.path.parts[:-1]
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Expand files and directories into a sorted stream of ``.py`` files.
+
+    Directories are walked recursively; non-Python files given explicitly
+    are ignored rather than rejected, so globs can be passed verbatim.
+    """
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            continue
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def lint_file(
+    path: str | Path,
+    rules: Sequence[Rule] | None = None,
+    respect_pragmas: bool = True,
+) -> list[Finding]:
+    """Lint one file and return its (pragma-filtered) findings."""
+    path = Path(path)
+    display = str(path)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=display,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule=PARSE_ERROR_RULE,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    pragmas = parse_pragmas(source)
+    context = FileContext(
+        display_path=display,
+        path=path,
+        source=source,
+        tree=tree,
+        pragmas=pragmas,
+    )
+    findings: list[Finding] = []
+    for rule in rules if rules is not None else ALL_RULES:
+        for finding in rule.check(context):
+            if respect_pragmas and pragmas.suppresses(
+                finding.line, finding.rule
+            ):
+                continue
+            findings.append(finding)
+    return findings
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    rules: Sequence[Rule] | None = None,
+    respect_pragmas: bool = True,
+) -> list[Finding]:
+    """Lint every Python file under ``paths``; findings in report order.
+
+    This is the importable API the tests and the ``repro-lint`` console
+    script share.  An empty list means the tree is clean.
+    """
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, rules, respect_pragmas))
+    findings.sort(key=Finding.sort_key)
+    return findings

@@ -1,0 +1,41 @@
+"""Structured diagnostics produced by the repro-lint engine.
+
+A :class:`Finding` pins one rule violation to a ``path:line:col`` location.
+Findings are plain frozen dataclasses so tests can compare them directly and
+the CLI can sort them into a stable report order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Finding", "format_findings"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location.
+
+    ``line`` and ``col`` follow the AST convention: 1-based line, 0-based
+    column, both pointing at the offending expression (not its statement).
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        """Stable report order: by file, then position, then rule id."""
+        return (self.path, self.line, self.col, self.rule)
+
+    def format(self) -> str:
+        """Render as the conventional ``path:line:col: RULE message`` line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def format_findings(findings: list[Finding]) -> str:
+    """Render findings one per line, in :meth:`Finding.sort_key` order."""
+    ordered = sorted(findings, key=Finding.sort_key)
+    return "\n".join(finding.format() for finding in ordered)

@@ -1,0 +1,77 @@
+"""Suppression pragmas for repro-lint.
+
+Two comment forms are recognised:
+
+* ``# repro-lint: ignore[RPL001]`` — suppress the listed rule(s) on the
+  physical line carrying the comment; several ids may be comma-separated,
+  e.g. ``ignore[RPL001,RPL005]``.
+* ``# repro-lint: ignore`` — suppress every rule on that line.
+* ``# repro-lint: skip-file`` — anywhere in the file, exempt the whole file.
+
+Pragmas are extracted with :mod:`tokenize` rather than a substring scan so a
+pragma-shaped string literal inside code cannot accidentally silence a rule.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["PragmaSet", "parse_pragmas"]
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<verb>ignore|skip-file)"
+    r"(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+)
+
+
+@dataclass
+class PragmaSet:
+    """Parsed suppressions for one source file."""
+
+    #: Lines carrying a blanket ``ignore`` (no rule list).
+    ignore_all_lines: set[int] = field(default_factory=set)
+    #: Line -> rule ids listed in ``ignore[...]`` pragmas on that line.
+    ignore_rules: dict[int, set[str]] = field(default_factory=dict)
+    #: Whether a ``skip-file`` pragma was seen anywhere.
+    skip_file: bool = False
+
+    def suppresses(self, line: int, rule: str) -> bool:
+        """Whether a finding of ``rule`` on ``line`` is silenced."""
+        if self.skip_file or line in self.ignore_all_lines:
+            return True
+        return rule in self.ignore_rules.get(line, set())
+
+
+def parse_pragmas(source: str) -> PragmaSet:
+    """Extract every repro-lint pragma comment from ``source``.
+
+    Files that fail to tokenize yield an empty :class:`PragmaSet`; the
+    engine reports the syntax error separately when parsing the AST.
+    """
+    pragmas = PragmaSet()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA_RE.search(token.string)
+            if match is None:
+                continue
+            line = token.start[0]
+            if match.group("verb") == "skip-file":
+                pragmas.skip_file = True
+            elif match.group("rules") is None:
+                pragmas.ignore_all_lines.add(line)
+            else:
+                ids = {
+                    part.strip().upper()
+                    for part in match.group("rules").split(",")
+                    if part.strip()
+                }
+                pragmas.ignore_rules.setdefault(line, set()).update(ids)
+    except tokenize.TokenError:
+        pass
+    return pragmas

@@ -1,0 +1,90 @@
+"""Rule base class and AST helpers shared by the repro-lint rules.
+
+The helpers encode the naming conventions the rules key on — most
+importantly :func:`is_probability_name`, the heuristic for "this identifier
+holds a probability or a tau threshold" that RPL001 and RPL005 share.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from typing import TYPE_CHECKING, ClassVar, Iterator
+
+from repro.analysis.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.engine import FileContext
+
+__all__ = [
+    "Rule",
+    "is_probability_name",
+    "mentioned_names",
+    "mentions_probability",
+]
+
+
+class Rule(abc.ABC):
+    """One lint rule: an id, a human description, and an AST check."""
+
+    #: Stable identifier, e.g. ``"RPL001"`` — what pragmas refer to.
+    rule_id: ClassVar[str]
+    #: One-line summary shown by ``repro-lint --list-rules``.
+    title: ClassVar[str]
+
+    @abc.abstractmethod
+    def check(self, context: "FileContext") -> Iterator[Finding]:
+        """Yield a finding for every violation in ``context``'s AST."""
+
+    def finding(
+        self, context: "FileContext", node: ast.AST, message: str
+    ) -> Finding:
+        """Build a finding anchored at ``node``'s source position."""
+        return Finding(
+            path=context.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule_id,
+            message=message,
+        )
+
+
+def is_probability_name(name: str) -> bool:
+    """Whether an identifier conventionally holds a probability or tau.
+
+    Matches ``tau``, ``tau_floor``, ``clique_prob``, ``probability``,
+    ``min_probability``, ``cpr`` and friends.  Identifiers mentioning
+    ``deg`` are excluded: tau-*degrees* are integers and compare freely.
+    """
+    lowered = name.lower()
+    if "deg" in lowered:
+        return False
+    return "prob" in lowered or "tau" in lowered or lowered == "cpr"
+
+
+def mentioned_names(node: ast.AST) -> list[str]:
+    """Identifiers mentioned by an expression, *excluding* call results.
+
+    ``new_prob * pi`` mentions ``new_prob`` and ``pi``; ``len(probs)``
+    mentions nothing, because the value of a call has its own semantics
+    (``len`` of a probability list is an int, not a probability).
+    """
+    names: list[str] = []
+
+    def visit(current: ast.AST) -> None:
+        if isinstance(current, ast.Call):
+            return
+        if isinstance(current, ast.Name):
+            names.append(current.id)
+        elif isinstance(current, ast.Attribute):
+            names.append(current.attr)
+        for child in ast.iter_child_nodes(current):
+            visit(child)
+
+    visit(node)
+    return names
+
+
+def mentions_probability(node: ast.AST) -> bool:
+    """Whether the expression mentions any probability-like identifier."""
+    return any(is_probability_name(name) for name in mentioned_names(node))

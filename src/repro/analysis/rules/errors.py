@@ -1,0 +1,81 @@
+"""Error-handling rule: RPL006 — no bare or swallowed exceptions.
+
+The algorithms in :mod:`repro.core` are pure computations: any exception
+escaping them is a bug or a caller error, and silently discarding one turns
+a crash into a wrong answer — the worst possible failure mode for code
+whose whole purpose is to agree with a brute-force oracle.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, ClassVar, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.engine import FileContext
+
+__all__ = ["SwallowedError"]
+
+_BROAD = ("Exception", "BaseException")
+
+
+def _is_broad(annotation: ast.expr | None) -> bool:
+    """Whether the handler catches Exception/BaseException (or a tuple
+    containing one)."""
+    if annotation is None:
+        return True
+    if isinstance(annotation, ast.Name):
+        return annotation.id in _BROAD
+    if isinstance(annotation, ast.Tuple):
+        return any(_is_broad(elt) for elt in annotation.elts)
+    return False
+
+
+def _swallows(body: list[ast.stmt]) -> bool:
+    """Whether the handler body discards the error without acting on it."""
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, ast.Constant
+        ):
+            continue  # docstring or ellipsis
+        return False
+    return True
+
+
+class SwallowedError(Rule):
+    """RPL006 — bare ``except:`` or a broad handler that discards errors.
+
+    * ``except:`` is always flagged: it catches ``KeyboardInterrupt`` and
+      ``SystemExit`` along with everything else.
+    * ``except Exception:`` (or ``BaseException``) whose body is only
+      ``pass``/``continue``/``break`` is flagged: the error is swallowed.
+      Narrow handlers (``except KeyError: pass``) are left alone — those
+      encode a deliberate, specific decision.
+    """
+
+    rule_id: ClassVar[str] = "RPL006"
+    title: ClassVar[str] = "bare except or swallowed broad exception"
+
+    def check(self, context: "FileContext") -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    context,
+                    node,
+                    "bare 'except:' catches SystemExit/KeyboardInterrupt; "
+                    "catch the specific repro error type instead",
+                )
+            elif _is_broad(node.type) and _swallows(node.body):
+                yield self.finding(
+                    context,
+                    node,
+                    "broad exception handler silently swallows the error; "
+                    "narrow the type or handle it explicitly",
+                )

@@ -1,0 +1,117 @@
+"""Aliasing rule: RPL004 — algorithms must not mutate graph parameters.
+
+The enumeration / maximum-clique / peeling algorithms receive an
+:class:`~repro.uncertain.graph.UncertainGraph` owned by the caller.  Every
+algorithm that needs to peel or rewire works on ``graph.copy()`` — mutating
+the parameter in place would corrupt the caller's graph and, because the
+searches recurse over shared components, poison sibling branches.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, ClassVar, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.engine import FileContext
+
+__all__ = ["FrozenGraphMutation"]
+
+#: UncertainGraph methods that mutate the receiver.
+MUTATOR_METHODS = frozenset(
+    {
+        "add_edge",
+        "add_node",
+        "remove_edge",
+        "remove_node",
+        "remove_nodes",
+        "set_probability",
+    }
+)
+
+#: Parameter names treated as graph-valued even without an annotation.
+_GRAPH_PARAM_NAMES = frozenset({"graph", "component", "subgraph"})
+
+
+def _annotation_is_graph(annotation: ast.expr | None) -> bool:
+    """Whether a parameter annotation names ``UncertainGraph``."""
+    if annotation is None:
+        return False
+    text = ast.unparse(annotation)
+    return "UncertainGraph" in text
+
+
+def _graph_params(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    args = node.args
+    params = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+    names: set[str] = set()
+    for arg in params:
+        if arg.arg in ("self", "cls"):
+            continue
+        if _annotation_is_graph(arg.annotation) or (
+            arg.annotation is None and arg.arg in _GRAPH_PARAM_NAMES
+        ):
+            names.add(arg.arg)
+    return names
+
+
+class FrozenGraphMutation(Rule):
+    """RPL004 — calling a mutator on an ``UncertainGraph`` parameter.
+
+    A parameter counts as graph-valued when it is annotated
+    ``UncertainGraph`` or named ``graph`` / ``component`` / ``subgraph``.
+    Rebinding the name first (``graph = graph.copy()``) releases it —
+    mutation is then on the local copy, which is the sanctioned pattern.
+    Nested functions inherit their enclosing functions' frozen parameters,
+    matching closure capture.
+    """
+
+    rule_id: ClassVar[str] = "RPL004"
+    title: ClassVar[str] = "mutation of an UncertainGraph parameter"
+
+    def check(self, context: "FileContext") -> Iterator[Finding]:
+        if context.is_file("graph.py"):
+            return
+        yield from self._scan(context, context.tree, frozen=frozenset())
+
+    def _scan(
+        self,
+        context: "FileContext",
+        node: ast.AST,
+        frozen: frozenset[str],
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._scan(
+                    context, child, (frozen | _graph_params(child))
+                )
+                continue
+            if isinstance(child, ast.Assign):
+                # A rebound name now refers to a local value (typically a
+                # .copy()); mutation through it is the caller's pattern.
+                rebound = {
+                    target.id
+                    for target in child.targets
+                    if isinstance(target, ast.Name)
+                }
+                if rebound:
+                    frozen = frozenset(frozen - rebound)
+            if isinstance(child, ast.Call):
+                func = child.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in MUTATOR_METHODS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in frozen
+                ):
+                    yield self.finding(
+                        context,
+                        child,
+                        f"{func.value.id}.{func.attr}(...) mutates a graph "
+                        "parameter; operate on a .copy() — enumeration "
+                        "treats input graphs as frozen",
+                    )
+            yield from self._scan(context, child, frozen)

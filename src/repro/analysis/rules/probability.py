@@ -1,0 +1,233 @@
+"""Probability-semantics rules: RPL001, RPL002, RPL005.
+
+These enforce the contract documented in :mod:`repro.utils.validation`:
+every knife-edge ``probability >= tau`` comparison goes through the
+tolerant helpers, every stored edge probability is validated, and nobody
+mixes log-domain and linear-domain probability arithmetic ad hoc.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, ClassVar, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import (
+    Rule,
+    mentions_probability,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.engine import FileContext
+
+__all__ = [
+    "RawThresholdCompare",
+    "UnvalidatedProbabilityStore",
+    "LogLinearMixing",
+]
+
+_ORDER_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+
+
+def _is_zero_or_one(node: ast.expr) -> bool:
+    """Whether ``node`` is a literal 0 or 1 (int or float, maybe negated)."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        node = node.operand
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+        and float(node.value) in (0.0, 1.0)
+    )
+
+
+def _is_uniform_draw(node: ast.expr) -> bool:
+    """Whether ``node`` is a ``<rng>.random()`` / ``<rng>.uniform(...)`` call.
+
+    ``rng.random() < p`` is the exact Bernoulli-sampling idiom: the draw is
+    continuous, so no tolerance applies and the raw comparison is correct.
+    """
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("random", "uniform")
+    )
+
+
+class RawThresholdCompare(Rule):
+    """RPL001 — raw ``<``/``>=`` on probabilities outside validation.py.
+
+    Any ordered comparison in which one side mentions a probability-like
+    identifier (``tau``, ``*_prob*``, ``cpr``, ...) must go through
+    :func:`repro.utils.validation.prob_at_least` / ``prob_below``, or use
+    the sanctioned precomputed floor from ``threshold_floor`` under an
+    explicit ``# repro-lint: ignore[RPL001]`` pragma on hot paths.
+
+    Exemptions: ``utils/validation.py`` itself (it *defines* the tolerant
+    semantics); range checks against literal ``0``/``1`` (parameter
+    validation, not knife-edge thresholds); and ``rng.random() < p``
+    Bernoulli draws (continuous, so exact comparison is correct).
+    """
+
+    rule_id: ClassVar[str] = "RPL001"
+    title: ClassVar[str] = (
+        "raw float comparison against tau/probability values"
+    )
+
+    def check(self, context: "FileContext") -> Iterator[Finding]:
+        if context.is_file("validation.py"):
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, _ORDER_OPS) for op in node.ops):
+                continue
+            sides = [node.left, *node.comparators]
+            prob_sides = [s for s in sides if mentions_probability(s)]
+            if not prob_sides:
+                continue
+            others = [s for s in sides if not mentions_probability(s)]
+            if others and all(_is_zero_or_one(s) for s in others):
+                continue  # 0 <= p <= 1 style range validation
+            if any(_is_uniform_draw(s) for s in sides):
+                continue  # Bernoulli sampling idiom
+            yield self.finding(
+                context,
+                node,
+                "raw comparison against a probability/tau value; use "
+                "prob_at_least/prob_below (or threshold_floor with an "
+                "explicit pragma on hot paths)",
+            )
+
+
+_STORE_METHODS = ("add_edge", "set_probability")
+
+
+class UnvalidatedProbabilityStore(Rule):
+    """RPL002 — edge probabilities stored without validation.
+
+    Two concrete patterns are flagged:
+
+    * writing into an ``_adj`` adjacency mapping directly (outside
+      ``uncertain/graph.py``) — that bypasses ``validate_probability``
+      entirely; probabilities must enter through ``add_edge`` /
+      ``set_probability``;
+    * passing a literal probability outside ``(0, 1]`` to ``add_edge`` /
+      ``set_probability`` — caught statically instead of at runtime.
+    """
+
+    rule_id: ClassVar[str] = "RPL002"
+    title: ClassVar[str] = "probability stored without validate_probability"
+
+    def check(self, context: "FileContext") -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                yield from self._check_store(context, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_literal(context, node)
+
+    def _check_store(
+        self,
+        context: "FileContext",
+        node: ast.Assign | ast.AugAssign | ast.AnnAssign,
+    ) -> Iterator[Finding]:
+        if context.is_file("graph.py"):
+            return
+        targets: list[ast.expr]
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        else:
+            targets = [node.target]
+        for target in targets:
+            if not isinstance(target, ast.Subscript):
+                continue
+            if any(
+                (isinstance(sub, ast.Name) and sub.id == "_adj")
+                or (isinstance(sub, ast.Attribute) and sub.attr == "_adj")
+                for sub in ast.walk(target)
+            ):
+                yield self.finding(
+                    context,
+                    target,
+                    "direct write into an _adj adjacency map bypasses "
+                    "validate_probability; use add_edge/set_probability",
+                )
+
+    def _check_literal(
+        self, context: "FileContext", node: ast.Call
+    ) -> Iterator[Finding]:
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute) and func.attr in _STORE_METHODS
+        ):
+            return
+        prob_arg: ast.expr | None = None
+        if func.attr in _STORE_METHODS and len(node.args) >= 3:
+            prob_arg = node.args[2]
+        else:
+            for keyword in node.keywords:
+                if keyword.arg == "p":
+                    prob_arg = keyword.value
+        if prob_arg is None:
+            return
+        value = prob_arg
+        negative = False
+        if isinstance(value, ast.UnaryOp) and isinstance(value.op, ast.USub):
+            negative = True
+            value = value.operand
+        if not (
+            isinstance(value, ast.Constant)
+            and isinstance(value.value, (int, float))
+            and not isinstance(value.value, bool)
+        ):
+            return
+        literal = -float(value.value) if negative else float(value.value)
+        if not 0.0 < literal <= 1.0:
+            yield self.finding(
+                context,
+                prob_arg,
+                f"literal edge probability {literal!r} is outside (0, 1] "
+                "and would fail validate_probability at runtime",
+            )
+
+
+_LOG_FUNCS = ("log", "log2", "log10", "log1p", "exp", "expm1")
+
+
+class LogLinearMixing(Rule):
+    """RPL005 — ad-hoc log/exp arithmetic on probability values.
+
+    The library works in the linear domain throughout: clique probabilities
+    are plain float products compared with the tolerant helpers.  Taking
+    ``math.log`` of (or exponentiating into) a probability-like value in
+    some corner of the codebase silently introduces a second numeric
+    convention whose results cannot be compared against the linear-domain
+    thresholds.  A sanctioned log-domain kernel would live next to
+    ``validation.py`` and carry an explicit pragma.
+    """
+
+    rule_id: ClassVar[str] = "RPL005"
+    title: ClassVar[str] = "log/linear domain mixing on probability values"
+
+    def check(self, context: "FileContext") -> Iterator[Finding]:
+        if context.is_file("validation.py"):
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in _LOG_FUNCS
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "math"
+            ):
+                continue
+            if any(mentions_probability(arg) for arg in node.args):
+                yield self.finding(
+                    context,
+                    node,
+                    f"math.{func.attr} applied to a probability-like value "
+                    "mixes log and linear domains; keep probability "
+                    "arithmetic linear or add a sanctioned kernel",
+                )

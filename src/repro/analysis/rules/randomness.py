@@ -1,0 +1,98 @@
+"""Determinism rule: RPL003 — no unseeded randomness in library code.
+
+Monte-Carlo estimates that differ run to run cannot be compared against the
+brute-force oracles, so every sampling path must take an explicit seed or a
+caller-provided ``random.Random`` instance.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, ClassVar, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.engine import FileContext
+
+__all__ = ["UnseededRandom"]
+
+
+def _is_none(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+class UnseededRandom(Rule):
+    """RPL003 — unseeded ``random.Random()`` or module-level ``random.*``.
+
+    Flags three patterns:
+
+    * ``random.Random()`` / ``random.Random(None)`` — an RNG seeded from
+      the OS, which makes results unreproducible;
+    * any other ``random.<fn>(...)`` call — module-level functions share
+      one hidden global RNG that any import can perturb;
+    * ``from random import <fn>`` for anything but the ``Random`` class —
+      the same global-state problem with the module prefix stripped.
+    """
+
+    rule_id: ClassVar[str] = "RPL003"
+    title: ClassVar[str] = "unseeded or module-level randomness"
+
+    def check(self, context: "FileContext") -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(context, node)
+            elif isinstance(node, ast.ImportFrom):
+                yield from self._check_import(context, node)
+
+    def _check_call(
+        self, context: "FileContext", node: ast.Call
+    ) -> Iterator[Finding]:
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "random"
+        ):
+            return
+        if func.attr == "Random":
+            unseeded = not node.args and not node.keywords
+            if not unseeded and len(node.args) == 1:
+                unseeded = _is_none(node.args[0])
+            if unseeded:
+                yield self.finding(
+                    context,
+                    node,
+                    "unseeded random.Random(); require an explicit seed or "
+                    "a caller-provided rng so runs are reproducible",
+                )
+        elif func.attr == "SystemRandom":
+            yield self.finding(
+                context,
+                node,
+                "random.SystemRandom() is unseedable by construction; "
+                "library code must be replayable from a seed",
+            )
+        else:
+            yield self.finding(
+                context,
+                node,
+                f"module-level random.{func.attr}() uses the hidden global "
+                "RNG; thread a seeded random.Random instance instead",
+            )
+
+    def _check_import(
+        self, context: "FileContext", node: ast.ImportFrom
+    ) -> Iterator[Finding]:
+        if node.module != "random":
+            return
+        for alias in node.names:
+            if alias.name not in ("Random",):
+                yield self.finding(
+                    context,
+                    node,
+                    f"'from random import {alias.name}' pulls in the "
+                    "global-state RNG API; import the module and use a "
+                    "seeded random.Random instance",
+                )

@@ -8,14 +8,14 @@ high-confidence, which is exactly what a maximal (k, tau)-clique captures.
 from __future__ import annotations
 
 from repro.core.enumeration import muce_plus_plus
-from repro.uncertain.graph import UncertainGraph
+from repro.uncertain.graph import Node, UncertainGraph
 
 __all__ = ["detect_complexes_muce"]
 
 
 def detect_complexes_muce(
     graph: UncertainGraph, k: int = 6, tau: float = 0.1
-) -> list[frozenset]:
+) -> list[frozenset[Node]]:
     """Predict protein complexes as maximal (k, tau)-cliques.
 
     The defaults suit the scaled synthetic CORE analog; the paper uses

@@ -12,6 +12,8 @@ import itertools
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.uncertain.graph import Node
+
 __all__ = ["ComplexDetectionScore", "score_predicted_complexes"]
 
 
@@ -33,9 +35,9 @@ class ComplexDetectionScore:
         return self.true_positives / total
 
 
-def _pair_set(complexes: Iterable[frozenset]) -> set[frozenset]:
+def _pair_set(complexes: Iterable[frozenset[Node]]) -> set[frozenset[Node]]:
     """All unordered within-complex protein pairs."""
-    pairs: set[frozenset] = set()
+    pairs: set[frozenset[Node]] = set()
     for complex_ in complexes:
         members = sorted(complex_, key=repr)
         for u, v in itertools.combinations(members, 2):
@@ -44,8 +46,8 @@ def _pair_set(complexes: Iterable[frozenset]) -> set[frozenset]:
 
 
 def score_predicted_complexes(
-    predicted: Sequence[frozenset],
-    ground_truth: Sequence[frozenset],
+    predicted: Sequence[frozenset[Node]],
+    ground_truth: Sequence[frozenset[Node]],
     method: str = "",
 ) -> ComplexDetectionScore:
     """Score predicted complexes against the ground-truth catalogue.

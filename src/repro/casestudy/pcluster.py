@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 
-from repro.uncertain.graph import UncertainGraph
+from repro.uncertain.graph import Node, UncertainGraph
 
 __all__ = ["pcluster_clusters"]
 
@@ -26,7 +26,7 @@ def pcluster_clusters(
     threshold: float = 0.5,
     min_size: int = 3,
     seed: int | None = 0,
-) -> list[frozenset]:
+) -> list[frozenset[Node]]:
     """Partition the graph with pKwikCluster-style pivoting.
 
     ``threshold`` is the absorb probability cutoff (1/2 in the original
@@ -36,8 +36,8 @@ def pcluster_clusters(
     rng = random.Random(seed)
     order = graph.nodes()
     rng.shuffle(order)
-    clustered: set = set()
-    clusters: list[frozenset] = []
+    clustered: set[Node] = set()
+    clusters: list[frozenset[Node]] = []
     for pivot in order:
         if pivot in clustered:
             continue

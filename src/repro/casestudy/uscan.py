@@ -57,7 +57,7 @@ def uscan_clusters(
     epsilon: float = 0.5,
     mu: int = 3,
     min_size: int = 3,
-) -> list[frozenset]:
+) -> list[frozenset[Node]]:
     """Cluster the uncertain graph SCAN-style.
 
     ``epsilon`` is the similarity threshold, ``mu`` the minimum number of
@@ -71,7 +71,7 @@ def uscan_clusters(
 
     # Epsilon-neighborhoods (self always included, as in SCAN).
     eps_nbrs: dict[Node, set[Node]] = {}
-    similarity_cache: dict[frozenset, float] = {}
+    similarity_cache: dict[frozenset[Node], float] = {}
     for u in graph:
         similar = {u}
         for v in graph.neighbors(u):

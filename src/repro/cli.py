@@ -16,6 +16,7 @@ import sys
 import time
 from typing import Callable
 
+from repro.experiments.harness import ExperimentResult
 from repro.experiments import (
     run_fig2,
     run_fig3,
@@ -31,8 +32,11 @@ from repro.experiments import (
 
 __all__ = ["main"]
 
+#: An experiment runner: parsed CLI options -> rendered result rows.
+Runner = Callable[[argparse.Namespace], ExperimentResult]
 
-def _runners() -> dict[str, Callable]:
+
+def _runners() -> dict[str, Runner]:
     """Experiment name -> runner accepting the parsed CLI options."""
     return {
         "table1": lambda opts: run_table1(scale=opts.scale),
@@ -58,7 +62,7 @@ def _runners() -> dict[str, Callable]:
     }
 
 
-def _run_mine(opts) -> int:
+def _run_mine(opts: argparse.Namespace) -> int:
     """The ``mine`` command: clique search on a user-supplied edge list."""
     from repro.core.enumeration import muce_plus_plus
     from repro.core.maximum import max_uc_plus
@@ -92,7 +96,7 @@ def _run_mine(opts) -> int:
     return 0
 
 
-def _run_dataset(opts) -> int:
+def _run_dataset(opts: argparse.Namespace) -> int:
     """The ``dataset`` command: export a synthetic dataset edge list."""
     from repro.datasets.registry import DATASETS, load_dataset
     from repro.uncertain.io import write_edge_list
@@ -112,7 +116,7 @@ def _run_dataset(opts) -> int:
     return 0
 
 
-def _build_parser(runners) -> argparse.ArgumentParser:
+def _build_parser(runners: dict[str, Runner]) -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=(

@@ -41,7 +41,7 @@ def _shrink_to_tau_clique(
     members: list[Node],
     k: int,
     tau: float,
-) -> frozenset | None:
+) -> frozenset[Node] | None:
     """Greedy repair: drop lowest-contribution nodes until CPr >= tau.
 
     A deterministic clique mined from a sampled world may be *larger*
@@ -69,8 +69,8 @@ def _shrink_to_tau_clique(
 
 
 def _grow_to_maximal(
-    graph: UncertainGraph, clique: frozenset, tau: float
-) -> frozenset:
+    graph: UncertainGraph, clique: frozenset[Node], tau: float
+) -> frozenset[Node]:
     """Greedily add the best extending node until no extension remains."""
     members = list(clique)
     prob = clique_probability(graph, members)
@@ -106,7 +106,7 @@ def approximate_maximal_cliques(
     tau: float,
     samples: int = 50,
     seed: int | None = 0,
-) -> set[frozenset]:
+) -> set[frozenset[Node]]:
     """Mine maximal (k, tau)-cliques by possible-world sampling.
 
     Every returned set is exactly verified; the result may miss cliques
@@ -119,7 +119,7 @@ def approximate_maximal_cliques(
     rng = random.Random(seed)
     edges = list(graph.edges())
 
-    candidates: set[frozenset] = set()
+    candidates: set[frozenset[Node]] = set()
     for _ in range(samples):
         world = UncertainGraph(nodes=graph.nodes())
         for u, v, p in edges:
@@ -134,7 +134,7 @@ def approximate_maximal_cliques(
             if repaired is not None:
                 candidates.add(_grow_to_maximal(graph, repaired, tau))
 
-    verified: set[frozenset] = set()
+    verified: set[frozenset[Node]] = set()
     for candidate in candidates:
         if is_maximal_k_tau_clique(graph, candidate, k, tau):
             verified.add(candidate)

@@ -30,7 +30,7 @@ _MAX_NODES = 22
 
 def brute_force_maximal_cliques(
     graph: UncertainGraph, k: int, tau: float
-) -> set[frozenset]:
+) -> set[frozenset[Node]]:
     """All maximal (k, tau)-cliques by testing every node subset.
 
     Only subsets of size ``k + 1`` and above are considered (Definition 2's
@@ -45,7 +45,7 @@ def brute_force_maximal_cliques(
             f"brute force is limited to {_MAX_NODES} nodes, "
             f"graph has {len(nodes)}"
         )
-    found: set[frozenset] = set()
+    found: set[frozenset[Node]] = set()
     for size in range(k + 1, len(nodes) + 1):
         for subset in itertools.combinations(nodes, size):
             if not is_clique(graph, subset):
@@ -59,7 +59,7 @@ def brute_force_maximal_cliques(
 
 def brute_force_maximum_clique(
     graph: UncertainGraph, k: int, tau: float
-) -> frozenset | None:
+) -> frozenset[Node] | None:
     """One maximum (k, tau)-clique, or ``None`` when none exists.
 
     Scans subset sizes from large to small so the first hit is a maximum;

@@ -153,17 +153,17 @@ class _CutTopK:
     """
 
     def __init__(self) -> None:
-        self._heap: list[tuple[float, int, frozenset]] = []
-        self._dead: set[frozenset] = set()
+        self._heap: list[tuple[float, int, frozenset[Node]]] = []
+        self._dead: set[frozenset[Node]] = set()
         self._seq = 0
         self.live = 0  # number of edges currently in the cut
 
-    def add(self, key: frozenset, p: float) -> None:
+    def add(self, key: frozenset[Node], p: float) -> None:
         heapq.heappush(self._heap, (-p, self._seq, key))
         self._seq += 1
         self.live += 1
 
-    def remove(self, key: frozenset) -> None:
+    def remove(self, key: frozenset[Node]) -> None:
         self._dead.add(key)
         self.live -= 1
 
@@ -173,7 +173,7 @@ class _CutTopK:
             return True
         if k == 0:
             return prob_below(1.0, tau)
-        popped: list[tuple[float, int, frozenset]] = []
+        popped: list[tuple[float, int, frozenset[Node]]] = []
         product = 1.0
         while len(popped) < k:
             entry = heapq.heappop(self._heap)
@@ -267,7 +267,9 @@ def _sweep_split(
             if pos_v < pos_u:
                 continue  # handle each edge once, from its earlier end
             if cum[pos_v] - cum[pos_u] > 0:
-                work.remove_edge(u, v)
+                # _sweep_split owns its scratch graph (caller passes the
+                # working copy cut_optimize built).
+                work.remove_edge(u, v)  # repro-lint: ignore[RPL004]
                 removed += 1
 
     segments: list[list[Node]] = []

@@ -42,7 +42,7 @@ from repro.core.ktau_core import dp_core_plus
 from repro.core.topk_core import topk_core
 from repro.deterministic.components import component_subgraphs
 from repro.uncertain.graph import Node, UncertainGraph
-from repro.utils.validation import FLOAT_EPS, validate_k, validate_tau
+from repro.utils.validation import threshold_floor, validate_k, validate_tau
 
 __all__ = [
     "EnumerationStats",
@@ -87,7 +87,7 @@ def maximal_cliques(
     cut: bool = True,
     insearch: bool = True,
     stats: EnumerationStats | None = None,
-) -> Iterator[frozenset]:
+) -> Iterator[frozenset[Node]]:
     """Enumerate all maximal (k, tau)-cliques of ``graph``.
 
     Parameters
@@ -133,7 +133,7 @@ def maximal_cliques(
     # All threshold checks in the hot search loop use the pre-computed
     # tolerant floor (see repro.utils.validation) instead of calling
     # prob_at_least per edge.
-    tau_floor = tau * (1.0 - FLOAT_EPS)
+    tau_floor = threshold_floor(tau)
     for component in components:
         if component.num_nodes < min_size:
             continue
@@ -163,7 +163,7 @@ def _muc(
     min_size: int,
     insearch: bool,
     stats: EnumerationStats,
-) -> Iterator[frozenset]:
+) -> Iterator[frozenset[Node]]:
     """The recursive ``MUC`` procedure (Algorithm 4, lines 7-22).
 
     ``candidates`` and ``excluded`` hold ``(node, pi_node)`` pairs where
@@ -214,7 +214,9 @@ def _muc(
             p = get(v)
             if p is not None:
                 pi = pi_v * p
-                if new_prob * pi >= tau_floor:
+                # Hot path: tau_floor comes from threshold_floor(tau), so
+                # this is prob_at_least without the per-edge call.
+                if new_prob * pi >= tau_floor:  # repro-lint: ignore[RPL001]
                     new_candidates.append((v, pi))
         if len(clique) + len(new_candidates) >= min_size:
             new_excluded = []
@@ -222,7 +224,8 @@ def _muc(
                 p = get(v)
                 if p is not None:
                     pi = pi_v * p
-                    if new_prob * pi >= tau_floor:
+                    # Same precomputed-floor fast path as the C filter.
+                    if new_prob * pi >= tau_floor:  # repro-lint: ignore[RPL001]
                         new_excluded.append((v, pi))
             yield from _muc(
                 component, clique, new_prob, new_candidates, new_excluded,
@@ -304,7 +307,8 @@ def _pi_k_ok(sorted_probs: list[float], k: int, tau_floor: float) -> bool:
     product = 1.0
     for p in sorted_probs[len(sorted_probs) - k :]:
         product *= p
-    return product >= tau_floor
+    # Hot path: raw compare against the precomputed threshold_floor(tau).
+    return product >= tau_floor  # repro-lint: ignore[RPL001]
 
 
 def muce(
@@ -312,7 +316,7 @@ def muce(
     k: int,
     tau: float,
     stats: EnumerationStats | None = None,
-) -> Iterator[frozenset]:
+) -> Iterator[frozenset[Node]]:
     """The Mukherjee et al. [18], [19] baseline: set-enumeration search with
     monotonicity and branch-size pruning but no core-based pruning."""
     return maximal_cliques(
@@ -326,7 +330,7 @@ def muce_plus(
     k: int,
     tau: float,
     stats: EnumerationStats | None = None,
-) -> Iterator[frozenset]:
+) -> Iterator[frozenset[Node]]:
     """Algorithm 4 with the (k, tau)-core pruning rule (``MUCE+``)."""
     return maximal_cliques(
         graph, k, tau, pruning="ktau", cut=True, insearch=True, stats=stats,
@@ -338,7 +342,7 @@ def muce_plus_plus(
     k: int,
     tau: float,
     stats: EnumerationStats | None = None,
-) -> Iterator[frozenset]:
+) -> Iterator[frozenset[Node]]:
     """Algorithm 4 with the (Top_k, tau)-core pruning rule (``MUCE++``)."""
     return maximal_cliques(
         graph, k, tau, pruning="topk", cut=True, insearch=True, stats=stats,

@@ -84,7 +84,8 @@ def _peel(
         while queue:
             u = queue.popleft()
             for v in list(work.neighbors(u)):
-                p = work.remove_edge(u, v)
+                # _peel owns its scratch graph by contract (see docstring).
+                p = work.remove_edge(u, v)  # repro-lint: ignore[RPL004]
                 if v in queued:
                     continue  # v is already condemned
                 updated = update(state[v], tau_deg[v], p)
@@ -97,7 +98,8 @@ def _peel(
                 if tau_deg[v] < k:
                     queue.append(v)
                     queued.add(v)
-            work.remove_node(u)
+            # _peel owns its scratch graph by contract (see docstring).
+            work.remove_node(u)  # repro-lint: ignore[RPL004]
             state.pop(u, None)
 
         # Final sweep: recompute every survivor fresh; incremental drift

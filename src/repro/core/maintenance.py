@@ -61,7 +61,7 @@ class KTauCoreMaintainer:
         return self._graph.copy()
 
     @property
-    def core(self) -> frozenset:
+    def core(self) -> frozenset[Node]:
         """The current (k, tau)-core."""
         return frozenset(self._core)
 
@@ -69,19 +69,19 @@ class KTauCoreMaintainer:
     # Updates
     # ------------------------------------------------------------------
 
-    def add_edge(self, u: Node, v: Node, p: float) -> frozenset:
+    def add_edge(self, u: Node, v: Node, p: float) -> frozenset[Node]:
         """Insert an edge and return the updated core."""
         self._graph.add_edge(u, v, p)
         self._grow(u, v)
         return self.core
 
-    def remove_edge(self, u: Node, v: Node) -> frozenset:
+    def remove_edge(self, u: Node, v: Node) -> frozenset[Node]:
         """Delete an edge and return the updated core."""
         self._graph.remove_edge(u, v)
         self._shrink((u, v))
         return self.core
 
-    def set_probability(self, u: Node, v: Node, p: float) -> frozenset:
+    def set_probability(self, u: Node, v: Node, p: float) -> frozenset[Node]:
         """Change an edge probability and return the updated core."""
         p = validate_probability(p)
         old = self._graph.probability(u, v)

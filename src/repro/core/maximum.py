@@ -35,8 +35,8 @@ from repro.core.topk_core import topk_core
 from repro.deterministic.coloring import greedy_coloring
 from repro.uncertain.graph import Node, UncertainGraph
 from repro.utils.validation import (
-    FLOAT_EPS,
     prob_at_least,
+    threshold_floor,
     validate_k,
     validate_tau,
 )
@@ -77,13 +77,13 @@ def max_uc(
     k: int,
     tau: float,
     stats: MaximumSearchStats | None = None,
-) -> frozenset | None:
+) -> frozenset[Node] | None:
     """Maximum (k, tau)-clique with only the ``|R| + |C|`` bound."""
     validate_k(k)
     tau = validate_tau(tau)
     stats = stats if stats is not None else MaximumSearchStats()
     min_size = k + 1
-    tau_floor = tau * (1.0 - FLOAT_EPS)
+    tau_floor = threshold_floor(tau)
 
     best: list[Node] | None = None
     best_size = k  # incumbent: anything <= k nodes does not count
@@ -113,7 +113,8 @@ def max_uc(
                 if p is None:
                     continue
                 pi = pi_v * p
-                if new_prob * pi >= tau_floor:
+                # Hot path: tau_floor = threshold_floor(tau) fast path.
+                if new_prob * pi >= tau_floor:  # repro-lint: ignore[RPL001]
                     new_candidates.append((v, pi))
             clique.append(u)
             search(clique, new_prob, new_candidates)
@@ -136,7 +137,7 @@ def max_rds(
     k: int,
     tau: float,
     stats: MaximumSearchStats | None = None,
-) -> frozenset | None:
+) -> frozenset[Node] | None:
     """Maximum (k, tau)-clique via Russian Doll Search.
 
     Nodes are processed in their natural order (as the Miao et al.
@@ -151,7 +152,7 @@ def max_rds(
     tau = validate_tau(tau)
     stats = stats if stats is not None else MaximumSearchStats()
     min_size = k + 1
-    tau_floor = tau * (1.0 - FLOAT_EPS)
+    tau_floor = threshold_floor(tau)
 
     order = sorted(graph.nodes(), key=_node_sort_key)
     position = {v: i for i, v in enumerate(order)}
@@ -198,7 +199,8 @@ def max_rds(
                     if p is None:
                         continue
                     pi = pi_w * p
-                    if new_prob * pi >= tau_floor:
+                    # Hot path: tau_floor = threshold_floor(tau) fast path.
+                    if new_prob * pi >= tau_floor:  # repro-lint: ignore[RPL001]
                         new_candidates.append((w, pi))
                 clique.append(u)
                 search(clique, new_prob, new_candidates)
@@ -231,7 +233,7 @@ def max_uc_plus(
     use_advanced_one: bool = True,
     use_advanced_two: bool = True,
     insearch: bool = True,
-) -> frozenset | None:
+) -> frozenset[Node] | None:
     """Maximum (k, tau)-clique with core/cut pruning and color bounds.
 
     The ``use_advanced_*`` and ``insearch`` switches exist for the
@@ -241,7 +243,7 @@ def max_uc_plus(
     tau = validate_tau(tau)
     stats = stats if stats is not None else MaximumSearchStats()
     min_size = k + 1
-    tau_floor = tau * (1.0 - FLOAT_EPS)
+    tau_floor = threshold_floor(tau)
 
     survivors = topk_core(graph, k, tau).nodes
     pruned = graph.induced_subgraph(survivors)
@@ -317,7 +319,8 @@ def max_uc_plus(
                     if p is None:
                         continue
                     pi = pi_v * p
-                    if new_prob * pi >= tau_floor:
+                    # Hot path: tau_floor = threshold_floor(tau) fast path.
+                    if new_prob * pi >= tau_floor:  # repro-lint: ignore[RPL001]
                         new_candidates.append((v, pi))
                 clique.append(u)
                 search(clique, new_prob, new_candidates)
@@ -347,7 +350,7 @@ def maximum_clique(
     tau: float,
     algorithm: Algorithm = "max_uc_plus",
     stats: MaximumSearchStats | None = None,
-) -> frozenset | None:
+) -> frozenset[Node] | None:
     """Front door: find one maximum (k, tau)-clique with the chosen
     algorithm (default: the paper's ``MaxUC+``)."""
     try:

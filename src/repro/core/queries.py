@@ -32,7 +32,7 @@ def cliques_containing(
     node: Node,
     k: int,
     tau: float,
-) -> Iterator[frozenset]:
+) -> Iterator[frozenset[Node]]:
     """Yield every maximal (k, tau)-clique of ``graph`` containing ``node``.
 
     Restricts the search to the closed neighborhood of ``node``: any

@@ -26,8 +26,7 @@ from typing import Sequence
 
 from repro.deterministic.core_decomposition import core_numbers
 from repro.uncertain.graph import Node, UncertainGraph
-from repro.utils.validation import FLOAT_EPS as _EPS
-from repro.utils.validation import prob_at_least, validate_tau
+from repro.utils.validation import prob_at_least, prob_below, validate_tau
 
 __all__ = [
     "degree_distribution_dp",
@@ -118,7 +117,6 @@ def distribution_prefix(
     exactly what the Eq. (4) deletion update needs later.
     """
     tau = validate_tau(tau)
-    tau_floor = tau * (1.0 - _EPS)
     d = len(probs)
     # Column i holds X(h, i) for h = 0..d; column 0 is the prefix product
     # of the non-existence probabilities.
@@ -130,7 +128,7 @@ def distribution_prefix(
     r = 0
     for i in range(d):
         survival -= eq[i]
-        if survival < tau_floor:
+        if prob_below(survival, tau):
             break
         r = i + 1
         nxt = [0.0] * (d + 1)
@@ -154,7 +152,6 @@ def update_distribution_prefix(
     """
     if p >= _STABLE_P_LIMIT:
         return None
-    tau_floor = tau * (1.0 - _EPS)
     q = 1.0 - p
     new = [eq[0] / q]
     for i in range(1, tau_deg + 1):
@@ -163,7 +160,7 @@ def update_distribution_prefix(
     r = 0
     for i in range(tau_deg):
         survival -= new[i]
-        if survival < tau_floor:
+        if prob_below(survival, tau):
             break
         r = i + 1
     return new[: r + 1], r

@@ -52,7 +52,7 @@ class TopKCoreResult:
     matching Algorithm 3's ``(empty, 0)`` return).
     """
 
-    nodes: frozenset
+    nodes: frozenset[Node]
     contains_fixed: bool
 
     def __bool__(self) -> bool:

@@ -19,13 +19,13 @@ from repro.core.cut_pruning import cut_optimize
 from repro.core.enumeration import EnumerationStats, maximal_cliques
 from repro.core.topk_core import topk_core
 from repro.errors import ParameterError
-from repro.uncertain.graph import UncertainGraph
+from repro.uncertain.graph import Node, UncertainGraph
 from repro.utils.validation import validate_k, validate_tau
 
 __all__ = ["top_r_maximal_cliques"]
 
 
-def _clique_order_key(clique: frozenset) -> tuple[int, list[str]]:
+def _clique_order_key(clique: frozenset[Node]) -> tuple[int, list[str]]:
     """Deterministic ranking: larger first, then lexicographic members."""
     return (-len(clique), sorted(str(v) for v in clique))
 
@@ -35,7 +35,7 @@ def top_r_maximal_cliques(
     r: int,
     k: int,
     tau: float,
-) -> list[frozenset]:
+) -> list[frozenset[Node]]:
     """The ``r`` largest maximal (k, tau)-cliques, largest first.
 
     Ties are broken deterministically by the lexicographic order of the
@@ -65,7 +65,7 @@ def top_r_maximal_cliques(
     # Min-heap of (size, sequence, clique): the root is the smallest of
     # the kept cliques.  Enumeration order is deterministic, so which of
     # several equal-size cliques survive is reproducible.
-    heap: list[tuple[int, int, frozenset]] = []
+    heap: list[tuple[int, int, frozenset[Node]]] = []
     sequence = 0
 
     def floor_size() -> int:

@@ -117,7 +117,7 @@ def uncertain_truss(
         return tau_degree_from_survival(row, threshold) >= s
 
     queue: deque[tuple[Node, Node]] = deque()
-    queued: set[frozenset] = set()
+    queued: set[frozenset[Node]] = set()
     for u, v, _ in list(work.edges()):
         if not support_ok(u, v):
             queue.append((u, v))

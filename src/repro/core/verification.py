@@ -20,7 +20,7 @@ from repro.uncertain.clique_prob import (
     is_clique,
     is_maximal_k_tau_clique,
 )
-from repro.uncertain.graph import UncertainGraph
+from repro.uncertain.graph import Node, UncertainGraph
 from repro.uncertain.possible_worlds import estimate_clique_probability
 from repro.utils.validation import prob_at_least, validate_k, validate_tau
 
@@ -36,14 +36,14 @@ class VerificationReport:
     """
 
     checked: int = 0
-    not_cliques: list[frozenset] = field(default_factory=list)
-    below_tau: list[frozenset] = field(default_factory=list)
-    too_small: list[frozenset] = field(default_factory=list)
-    not_maximal: list[frozenset] = field(default_factory=list)
-    contained_pairs: list[tuple[frozenset, frozenset]] = field(
+    not_cliques: list[frozenset[Node]] = field(default_factory=list)
+    below_tau: list[frozenset[Node]] = field(default_factory=list)
+    too_small: list[frozenset[Node]] = field(default_factory=list)
+    not_maximal: list[frozenset[Node]] = field(default_factory=list)
+    contained_pairs: list[tuple[frozenset[Node], frozenset[Node]]] = field(
         default_factory=list
     )
-    sampling_outliers: list[frozenset] = field(default_factory=list)
+    sampling_outliers: list[frozenset[Node]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -76,7 +76,7 @@ class VerificationReport:
 
 def verify_maximal_cliques(
     graph: UncertainGraph,
-    cliques: Iterable[frozenset],
+    cliques: Iterable[frozenset[Node]],
     k: int,
     tau: float,
     sample_probability: bool = False,
@@ -100,7 +100,7 @@ def verify_maximal_cliques(
     validate_k(k)
     tau = validate_tau(tau)
     report = VerificationReport()
-    seen: list[frozenset] = []
+    seen: list[frozenset[Node]] = []
     for clique in cliques:
         report.checked += 1
         members = sorted(clique, key=str)

@@ -20,7 +20,7 @@ import random
 from dataclasses import dataclass
 
 from repro.errors import ParameterError
-from repro.uncertain.graph import UncertainGraph
+from repro.uncertain.graph import Node, UncertainGraph
 
 __all__ = ["PPINetwork", "ppi_network"]
 
@@ -30,7 +30,7 @@ class PPINetwork:
     """An uncertain PPI graph together with its ground-truth complexes."""
 
     graph: UncertainGraph
-    complexes: tuple[frozenset, ...]
+    complexes: tuple[frozenset[Node], ...]
 
     @property
     def num_proteins(self) -> int:
@@ -85,7 +85,7 @@ def ppi_network(
     unused = list(range(n_proteins))
     rng.shuffle(unused)
 
-    complexes: list[frozenset] = []
+    complexes: list[frozenset[Node]] = []
     for _ in range(n_complexes):
         size = rng.randint(*complex_size)
         members: list[int] = []

@@ -53,7 +53,7 @@ class WeightedGraph:
     """
 
     def __init__(self) -> None:
-        self._weights: dict[frozenset, float] = {}
+        self._weights: dict[frozenset[Node], float] = {}
         self._nodes: set[Node] = set()
 
     @property
@@ -139,7 +139,7 @@ def planted_clique_graph(
     background_edge_probability: float = 0.02,
     background_prob: float = 0.4,
     seed: int | None = None,
-) -> tuple[UncertainGraph, list[frozenset]]:
+) -> tuple[UncertainGraph, list[frozenset[Node]]]:
     """Sparse background noise plus planted high-probability cliques.
 
     Returns ``(graph, planted)`` where ``planted`` lists the planted node
@@ -149,7 +149,7 @@ def planted_clique_graph(
     """
     rng = random.Random(seed)
     graph = UncertainGraph()
-    planted: list[frozenset] = []
+    planted: list[frozenset[Node]] = []
     next_id = 0
     for size in clique_sizes:
         if size < 2:

@@ -27,7 +27,7 @@ def _pivot_expand(
     clique: list[Node],
     candidates: set[Node],
     excluded: set[Node],
-) -> Iterator[frozenset]:
+) -> Iterator[frozenset[Node]]:
     """Recursive Bron-Kerbosch step with Tomita's max-degree pivot."""
     if not candidates and not excluded:
         yield frozenset(clique)
@@ -50,12 +50,12 @@ def _pivot_expand(
         excluded.add(u)
 
 
-def bron_kerbosch(graph: UncertainGraph) -> Iterator[frozenset]:
+def bron_kerbosch(graph: UncertainGraph) -> Iterator[frozenset[Node]]:
     """Yield all maximal cliques of the deterministic graph ``~G``."""
     yield from _pivot_expand(graph, [], set(graph.nodes()), set())
 
 
-def bron_kerbosch_degeneracy(graph: UncertainGraph) -> Iterator[frozenset]:
+def bron_kerbosch_degeneracy(graph: UncertainGraph) -> Iterator[frozenset[Node]]:
     """Bron-Kerbosch with a degeneracy-ordered outer loop [9].
 
     Processes each node ``v`` in degeneracy order with candidates limited to

@@ -15,6 +15,8 @@ Two studies on the DBLP analog:
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.core.enumeration import muce_plus, muce_plus_plus
 from repro.core.ktau_core import dp_core_plus
 from repro.core.maximum import max_rds, max_uc, max_uc_plus
@@ -24,6 +26,7 @@ from repro.experiments.harness import (
     consume,
     run_with_timing,
 )
+from repro.uncertain.graph import UncertainGraph
 
 __all__ = ["run_fig8"]
 
@@ -62,7 +65,15 @@ def run_fig8(
     return result
 
 
-def _measure_variant(result, graph, variant, panel, k, tau, baselines):
+def _measure_variant(
+    result: ExperimentResult,
+    graph: UncertainGraph,
+    variant: str,
+    panel: str,
+    k: int,
+    tau: float,
+    baselines: bool,
+) -> None:
     """All three measurements (pruning / enumeration / maximum) for one
     probability-model variant of the dataset."""
     topk_nodes, t_topk = run_with_timing(
@@ -78,7 +89,9 @@ def _measure_variant(result, graph, variant, panel, k, tau, baselines):
         dpcore_plus_seconds=t_ktau,
     )
 
-    row = {"panel": f"enumeration ({panel})", "variant": variant}
+    row: dict[str, Any] = {
+        "panel": f"enumeration ({panel})", "variant": variant,
+    }
     count, seconds = run_with_timing(
         lambda: consume(muce_plus_plus(graph, k, tau))
     )

@@ -7,12 +7,15 @@ beats MUCE, MUCE++ beats MUCE+, and all runtimes fall as k or tau grows.
 
 from __future__ import annotations
 
+from typing import Any, Callable, Iterable, Sequence
+
 from repro.core.enumeration import muce, muce_plus, muce_plus_plus
 from repro.experiments.harness import (
     ExperimentResult,
     consume,
     run_with_timing,
 )
+from repro.uncertain.graph import Node, UncertainGraph
 
 __all__ = ["run_fig3", "DEFAULT_DATASETS"]
 
@@ -24,7 +27,12 @@ DEFAULT_DATASETS = (
     "dblp_like",
 )
 
-_ALGORITHMS = (
+#: An enumerator: label plus a ``(graph, k, tau) -> cliques`` callable.
+EnumeratorFn = Callable[
+    [UncertainGraph, int, float], Iterable[frozenset[Node]]
+]
+
+_ALGORITHMS: tuple[tuple[str, EnumeratorFn], ...] = (
     ("MUCE", muce),
     ("MUCE+", muce_plus),
     ("MUCE++", muce_plus_plus),
@@ -69,10 +77,19 @@ def run_fig3(
     return result
 
 
-def _measure_point(result, graph, dataset, vary, value, k, tau, algorithms):
+def _measure_point(
+    result: ExperimentResult,
+    graph: UncertainGraph,
+    dataset: str,
+    vary: str,
+    value: float,
+    k: int,
+    tau: float,
+    algorithms: Sequence[tuple[str, EnumeratorFn]],
+) -> None:
     """One figure point: run every algorithm at (k, tau) and record."""
-    counts = {}
-    row = {"dataset": dataset, "vary": vary, "value": value}
+    counts: dict[str, int] = {}
+    row: dict[str, Any] = {"dataset": dataset, "vary": vary, "value": value}
     for label, fn in algorithms:
         count, seconds = run_with_timing(lambda: consume(fn(graph, k, tau)))
         counts[label] = count

@@ -8,8 +8,11 @@ fall as k or tau grows.
 
 from __future__ import annotations
 
+from typing import Any, Callable, Sequence
+
 from repro.core.maximum import max_rds, max_uc, max_uc_plus
 from repro.experiments.harness import ExperimentResult, run_with_timing
+from repro.uncertain.graph import Node, UncertainGraph
 
 __all__ = ["run_fig5", "DEFAULT_DATASETS"]
 
@@ -21,7 +24,12 @@ DEFAULT_DATASETS = (
     "dblp_like",
 )
 
-_ALGORITHMS = (
+#: A maximum-clique solver: label plus a ``(graph, k, tau)`` callable.
+MaximumFn = Callable[
+    [UncertainGraph, int, float], frozenset[Node] | None
+]
+
+_ALGORITHMS: tuple[tuple[str, MaximumFn], ...] = (
     ("MaxUC", max_uc),
     ("MaxRDS", max_rds),
     ("MaxUC+", max_uc_plus),
@@ -62,10 +70,19 @@ def run_fig5(
     return result
 
 
-def _measure_point(result, graph, dataset, vary, value, k, tau, algorithms):
+def _measure_point(
+    result: ExperimentResult,
+    graph: UncertainGraph,
+    dataset: str,
+    vary: str,
+    value: float,
+    k: int,
+    tau: float,
+    algorithms: Sequence[tuple[str, MaximumFn]],
+) -> None:
     """One figure point: every algorithm must agree on the maximum size."""
-    sizes = {}
-    row = {"dataset": dataset, "vary": vary, "value": value}
+    sizes: dict[str, int] = {}
+    row: dict[str, Any] = {"dataset": dataset, "vary": vary, "value": value}
     for label, fn in algorithms:
         clique, seconds = run_with_timing(lambda: fn(graph, k, tau))
         sizes[label] = len(clique) if clique is not None else 0

@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.core.ktau_core import dp_core_plus
 from repro.core.topk_core import topk_core
 from repro.experiments.harness import ExperimentResult, run_with_timing
+from repro.uncertain.graph import UncertainGraph
 
 __all__ = ["run_fig4"]
 
@@ -45,7 +46,15 @@ def run_fig4(
     return result
 
 
-def _measure(result, graph, vary, value, k, tau, repeats):
+def _measure(
+    result: ExperimentResult,
+    graph: UncertainGraph,
+    vary: str,
+    value: float,
+    k: int,
+    tau: float,
+    repeats: int,
+) -> None:
     """One point: run both pruning rules, record sizes and times."""
     ktau_nodes, t_ktau = run_with_timing(
         lambda: dp_core_plus(graph, k, tau), repeats

@@ -10,6 +10,7 @@ sharply.
 from __future__ import annotations
 
 import random
+from typing import Any
 
 from repro.core.enumeration import muce, muce_plus, muce_plus_plus
 from repro.core.ktau_core import dp_core, dp_core_plus
@@ -86,16 +87,31 @@ def run_fig6(
     return result
 
 
-def _measure_cores(result, sub, sample_kind, fraction, k, tau):
-    row = {"panel": f"cores vs {sample_kind}", "fraction": fraction}
+def _measure_cores(
+    result: ExperimentResult,
+    sub: UncertainGraph,
+    sample_kind: str,
+    fraction: float,
+    k: int,
+    tau: float,
+) -> None:
+    row: dict[str, Any] = {"panel": f"cores vs {sample_kind}", "fraction": fraction}
     for label, fn in _CORE_ALGOS:
         _, seconds = run_with_timing(lambda: fn(sub, k, tau))
         row[f"{label}_seconds"] = seconds
     result.add(**row)
 
 
-def _measure_enum(result, sub, sample_kind, fraction, k, tau, baselines):
-    row = {"panel": f"enumeration vs {sample_kind}", "fraction": fraction}
+def _measure_enum(
+    result: ExperimentResult,
+    sub: UncertainGraph,
+    sample_kind: str,
+    fraction: float,
+    k: int,
+    tau: float,
+    baselines: bool,
+) -> None:
+    row: dict[str, Any] = {"panel": f"enumeration vs {sample_kind}", "fraction": fraction}
     for label, fn in _ENUM_ALGOS:
         if not baselines and label == "MUCE":
             continue
@@ -105,8 +121,16 @@ def _measure_enum(result, sub, sample_kind, fraction, k, tau, baselines):
     result.add(**row)
 
 
-def _measure_max(result, sub, sample_kind, fraction, k, tau, baselines):
-    row = {"panel": f"maximum vs {sample_kind}", "fraction": fraction}
+def _measure_max(
+    result: ExperimentResult,
+    sub: UncertainGraph,
+    sample_kind: str,
+    fraction: float,
+    k: int,
+    tau: float,
+    baselines: bool,
+) -> None:
+    row: dict[str, Any] = {"panel": f"maximum vs {sample_kind}", "fraction": fraction}
     for label, fn in _MAX_ALGOS:
         if not baselines and label != "MaxUC+":
             continue

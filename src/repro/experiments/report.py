@@ -10,7 +10,7 @@ from __future__ import annotations
 import platform
 import sys
 import time
-from typing import Callable
+from typing import Any, Callable
 
 from repro.experiments.harness import ExperimentResult
 
@@ -42,9 +42,11 @@ def _markdown_table(result: ExperimentResult) -> str:
         return "_(no rows)_"
     blocks: list[str] = []
     if result.group_by is None:
-        groups: list[tuple[str | None, list[dict]]] = [(None, result.rows)]
+        groups: list[tuple[str | None, list[dict[str, Any]]]] = [
+            (None, result.rows)
+        ]
     else:
-        seen: dict = {}
+        seen: dict[Any, list[dict[str, Any]]] = {}
         for row in result.rows:
             seen.setdefault(row.get(result.group_by), []).append(row)
         groups = [

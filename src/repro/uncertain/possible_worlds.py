@@ -47,7 +47,7 @@ class PossibleWorld:
     """
 
     nodes: tuple[Node, ...]
-    edges: frozenset[frozenset]
+    edges: frozenset[frozenset[Node]]
     probability: float
 
     def has_edge(self, u: Node, v: Node) -> bool:
@@ -110,10 +110,14 @@ def enumerate_possible_worlds(
 
 
 def sample_possible_world(
-    graph: UncertainGraph, rng: random.Random | None = None
+    graph: UncertainGraph, rng: random.Random
 ) -> PossibleWorld:
-    """Draw one world by flipping an independent coin per edge."""
-    rng = rng or random.Random()
+    """Draw one world by flipping an independent coin per edge.
+
+    ``rng`` is required: sampling must be replayable from an explicit
+    seed, so callers either thread a ``random.Random(seed)`` through or
+    use :func:`sample_possible_worlds`, which seeds one for them.
+    """
     present = []
     prob = 1.0
     for u, v, p in graph.edges():

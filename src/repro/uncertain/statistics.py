@@ -91,7 +91,7 @@ def summarize(graph: UncertainGraph) -> GraphSummary:
 def _is_connected_world(
     members: Sequence[Node],
     adjacency: dict[Node, list[tuple[Node, float]]],
-    present: set[frozenset],
+    present: set[frozenset[Node]],
 ) -> bool:
     """Connectivity of ``members`` using only the ``present`` edges."""
     start = members[0]
@@ -136,7 +136,7 @@ def node_set_reliability(
         total = 0.0
         for mask in range(1 << len(edges)):
             prob = 1.0
-            present: set[frozenset] = set()
+            present: set[frozenset[Node]] = set()
             for bit, (u, v, p) in enumerate(edges):
                 if mask >> bit & 1:
                     prob *= p

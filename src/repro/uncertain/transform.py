@@ -14,7 +14,7 @@ from typing import Callable
 
 from repro.errors import EdgeNotFoundError, ParameterError
 from repro.uncertain.graph import Node, UncertainGraph
-from repro.utils.validation import validate_probability
+from repro.utils.validation import prob_at_least, validate_probability
 
 __all__ = [
     "filter_edges",
@@ -52,7 +52,9 @@ def threshold_filter(
         raise ParameterError(
             f"min_probability must be in [0, 1], got {min_probability}"
         )
-    return filter_edges(graph, lambda u, v, p: p >= min_probability)
+    return filter_edges(
+        graph, lambda u, v, p: prob_at_least(p, min_probability)
+    )
 
 
 def rescale_probabilities(

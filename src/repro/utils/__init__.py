@@ -4,6 +4,7 @@ from repro.utils.validation import (
     FLOAT_EPS,
     prob_at_least,
     prob_below,
+    threshold_floor,
     validate_k,
     validate_probability,
     validate_tau,
@@ -14,6 +15,7 @@ __all__ = [
     "FLOAT_EPS",
     "prob_at_least",
     "prob_below",
+    "threshold_floor",
     "validate_k",
     "validate_probability",
     "validate_tau",

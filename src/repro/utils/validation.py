@@ -21,6 +21,7 @@ __all__ = [
     "FLOAT_EPS",
     "prob_at_least",
     "prob_below",
+    "threshold_floor",
     "validate_k",
     "validate_probability",
     "validate_tau",
@@ -43,6 +44,20 @@ def prob_below(value: float, threshold: float) -> bool:
     peeling rule and its correctness check can never disagree.
     """
     return not prob_at_least(value, threshold)
+
+
+def threshold_floor(threshold: float) -> float:
+    """The tolerance-adjusted floor used by hot-loop threshold tests.
+
+    ``value >= threshold_floor(tau)`` is exactly ``prob_at_least(value,
+    tau)`` — same expression, same rounding — but lets a search loop
+    precompute the floor once instead of paying a function call per
+    candidate.  Call sites that compare against the floor directly are the
+    *only* sanctioned raw probability comparisons in the library, and each
+    one carries a ``# repro-lint: ignore[RPL001]`` pragma so the linter
+    keeps every other comparison honest.
+    """
+    return threshold - FLOAT_EPS * threshold
 
 
 def validate_probability(p: float) -> float:

@@ -1,0 +1,155 @@
+"""Engine behaviour, the repro-lint CLI, and the shipped-tree self-check."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import get_rules, run_lint
+from repro.analysis.cli import main
+from repro.analysis.engine import iter_python_files
+
+#: The shipped source tree, located from the installed package so the test
+#: does not depend on the working directory.
+SRC_REPRO = Path(repro.__file__).parent
+
+VIOLATION = """
+import random
+
+
+def keep(p, tau):
+    rng = random.Random()
+    return p >= tau
+"""
+
+
+def write(tmp_path: Path, name: str, source: str) -> Path:
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+# ----------------------------------------------------------------------
+# File discovery
+# ----------------------------------------------------------------------
+
+def test_iter_python_files_walks_sorted_and_dedups(tmp_path: Path) -> None:
+    write(tmp_path, "pkg/b.py", "x = 1\n")
+    write(tmp_path, "pkg/a.py", "x = 1\n")
+    write(tmp_path, "pkg/sub/c.py", "x = 1\n")
+    write(tmp_path, "pkg/notes.txt", "not python\n")
+    files = list(
+        iter_python_files([tmp_path / "pkg", tmp_path / "pkg" / "a.py"])
+    )
+    assert [f.name for f in files] == ["a.py", "b.py", "c.py"]
+
+
+def test_iter_python_files_ignores_non_python_path(tmp_path: Path) -> None:
+    path = write(tmp_path, "notes.txt", "hello\n")
+    assert list(iter_python_files([path])) == []
+
+
+# ----------------------------------------------------------------------
+# run_lint API
+# ----------------------------------------------------------------------
+
+def test_run_lint_collects_across_files(tmp_path: Path) -> None:
+    write(tmp_path, "one.py", "def f(p, tau):\n    return p >= tau\n")
+    write(tmp_path, "two.py", "import random\nrandom.seed(1)\n")
+    findings = run_lint([tmp_path])
+    assert sorted({finding.rule for finding in findings}) == [
+        "RPL001",
+        "RPL003",
+    ]
+
+
+def test_run_lint_rule_selection(tmp_path: Path) -> None:
+    write(tmp_path, "mod.py", VIOLATION)
+    only_random = run_lint([tmp_path], rules=get_rules(["RPL003"]))
+    assert [finding.rule for finding in only_random] == ["RPL003"]
+
+
+def test_get_rules_rejects_unknown_id() -> None:
+    with pytest.raises(ValueError, match="RPL999"):
+        get_rules(["RPL999"])
+
+
+def test_shipped_tree_is_clean() -> None:
+    """The acceptance self-check: repro-lint on src/repro finds nothing."""
+    assert run_lint([SRC_REPRO]) == []
+
+
+# ----------------------------------------------------------------------
+# CLI exit codes and output
+# ----------------------------------------------------------------------
+
+def test_cli_clean_tree_exits_zero(
+    tmp_path: Path, capsys: pytest.CaptureFixture[str]
+) -> None:
+    write(tmp_path, "clean.py", "x = 1\n")
+    assert main([str(tmp_path)]) == 0
+    captured = capsys.readouterr()
+    assert captured.out == ""
+
+
+def test_cli_violations_exit_one_with_locations(
+    tmp_path: Path, capsys: pytest.CaptureFixture[str]
+) -> None:
+    path = write(tmp_path, "bad.py", VIOLATION)
+    assert main([str(path)]) == 1
+    captured = capsys.readouterr()
+    assert f"{path}:6:" in captured.out  # random.Random() line
+    assert "RPL001" in captured.out and "RPL003" in captured.out
+    assert "2 findings" in captured.err
+
+
+def test_cli_select_subset(
+    tmp_path: Path, capsys: pytest.CaptureFixture[str]
+) -> None:
+    path = write(tmp_path, "bad.py", VIOLATION)
+    assert main(["--select", "RPL001", str(path)]) == 1
+    captured = capsys.readouterr()
+    assert "RPL001" in captured.out
+    assert "RPL003" not in captured.out
+
+
+def test_cli_unknown_rule_exits_two(
+    capsys: pytest.CaptureFixture[str],
+) -> None:
+    assert main(["--select", "RPL999", str(SRC_REPRO)]) == 2
+    assert "unknown rule id" in capsys.readouterr().err
+
+
+def test_cli_missing_path_exits_two(
+    tmp_path: Path, capsys: pytest.CaptureFixture[str]
+) -> None:
+    assert main([str(tmp_path / "does-not-exist")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_cli_list_rules(capsys: pytest.CaptureFixture[str]) -> None:
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005",
+                    "RPL006"):
+        assert rule_id in out
+
+
+def test_cli_no_pragmas_reports_suppressed(
+    tmp_path: Path, capsys: pytest.CaptureFixture[str]
+) -> None:
+    path = write(
+        tmp_path,
+        "hot.py",
+        """
+        def keep(p, tau_floor):
+            return p >= tau_floor  # repro-lint: ignore[RPL001]
+        """,
+    )
+    assert main([str(path)]) == 0
+    assert main(["--no-pragmas", str(path)]) == 1
+    assert "RPL001" in capsys.readouterr().out

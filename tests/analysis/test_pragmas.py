@@ -1,0 +1,95 @@
+"""Pragma parsing and suppression behaviour."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import lint_file, parse_pragmas
+
+
+def lint_source(tmp_path: Path, source: str, **kwargs: bool) -> list:
+    path = tmp_path / "mod.py"
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return lint_file(path, **kwargs)
+
+
+def test_parse_single_rule_pragma() -> None:
+    pragmas = parse_pragmas("x = 1  # repro-lint: ignore[RPL001]\n")
+    assert pragmas.suppresses(1, "RPL001")
+    assert not pragmas.suppresses(1, "RPL003")
+    assert not pragmas.suppresses(2, "RPL001")
+
+
+def test_parse_multi_rule_pragma() -> None:
+    pragmas = parse_pragmas("x = 1  # repro-lint: ignore[RPL001, rpl005]\n")
+    assert pragmas.suppresses(1, "RPL001")
+    assert pragmas.suppresses(1, "RPL005")  # ids are case-insensitive
+    assert not pragmas.suppresses(1, "RPL002")
+
+
+def test_parse_blanket_ignore() -> None:
+    pragmas = parse_pragmas("x = 1  # repro-lint: ignore\n")
+    assert pragmas.suppresses(1, "RPL001")
+    assert pragmas.suppresses(1, "RPL006")
+
+
+def test_parse_skip_file() -> None:
+    pragmas = parse_pragmas("# repro-lint: skip-file\nx = 1\n")
+    assert pragmas.skip_file
+    assert pragmas.suppresses(99, "RPL004")
+
+
+def test_pragma_inside_string_literal_is_inert() -> None:
+    pragmas = parse_pragmas('text = "# repro-lint: skip-file"\n')
+    assert not pragmas.skip_file
+    assert not pragmas.suppresses(1, "RPL001")
+
+
+def test_pragma_suppresses_finding_on_its_line(tmp_path: Path) -> None:
+    findings = lint_source(
+        tmp_path,
+        """
+        def keep(p, tau):
+            return p >= tau  # repro-lint: ignore[RPL001]
+        """,
+    )
+    assert findings == []
+
+
+def test_pragma_for_other_rule_does_not_suppress(tmp_path: Path) -> None:
+    findings = lint_source(
+        tmp_path,
+        """
+        def keep(p, tau):
+            return p >= tau  # repro-lint: ignore[RPL006]
+        """,
+    )
+    assert [finding.rule for finding in findings] == ["RPL001"]
+
+
+def test_skip_file_pragma_silences_whole_file(tmp_path: Path) -> None:
+    findings = lint_source(
+        tmp_path,
+        """
+        # repro-lint: skip-file
+        import random
+
+        def keep(p, tau):
+            rng = random.Random()
+            return p >= tau
+        """,
+    )
+    assert findings == []
+
+
+def test_no_pragmas_mode_reports_suppressed(tmp_path: Path) -> None:
+    findings = lint_source(
+        tmp_path,
+        """
+        def keep(p, tau):
+            return p >= tau  # repro-lint: ignore[RPL001]
+        """,
+        respect_pragmas=False,
+    )
+    assert [finding.rule for finding in findings] == ["RPL001"]

@@ -1,5 +1,7 @@
 """Unit tests for the possible-world semantics."""
 
+import random
+
 import pytest
 
 from repro import UncertainGraph, clique_probability
@@ -86,7 +88,7 @@ class TestSampling:
             list(sample_possible_worlds(triangle, -1))
 
     def test_single_sample_edges_subset(self, triangle):
-        world = sample_possible_world(triangle)
+        world = sample_possible_world(triangle, random.Random(3))
         all_edges = {
             frozenset((u, v)) for u, v, _ in triangle.edges()
         }
