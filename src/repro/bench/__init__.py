@@ -1,0 +1,25 @@
+"""Engine benchmark harness (``repro-bench``).
+
+Measures the ``engine="bitset"`` compiled kernel against the
+``engine="legacy"`` dict-of-dicts search on the registry datasets and
+writes machine-readable ``BENCH_*.json`` reports.  The measurement
+protocol lives in :mod:`repro.bench.runner`; the checked-in reports under
+``benchmarks/perf/`` are produced by the console script in
+:mod:`repro.bench.cli`.
+"""
+
+from repro.bench.runner import (
+    BenchReport,
+    ConfigResult,
+    EngineRun,
+    run_enumeration_bench,
+    run_maximum_bench,
+)
+
+__all__ = [
+    "BenchReport",
+    "ConfigResult",
+    "EngineRun",
+    "run_enumeration_bench",
+    "run_maximum_bench",
+]

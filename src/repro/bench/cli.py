@@ -1,0 +1,129 @@
+"""``repro-bench`` — engine benchmark runner.
+
+Full mode (the default) reproduces the checked-in reports under
+``benchmarks/perf/``: the dblp_like registry graph at full scale,
+median of 5 interleaved repetitions per config, for both the enumeration
+(``muce_plus_plus``) and maximum (``max_uc_plus``) drivers.
+
+``--quick`` shrinks the dataset and repetition count to a CI-smoke-sized
+run (~tens of seconds).  ``--check`` turns the run into a gate: exit
+status 1 when any config's outputs differ between engines, or when the
+bitset engine's median is slower than legacy's beyond ``--tolerance``
+(a noise allowance — CI runners are shared machines).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench.runner import (
+    BenchReport,
+    run_enumeration_bench,
+    run_maximum_bench,
+)
+
+__all__ = ["main"]
+
+#: Headline config first: the enumeration speedup quoted in
+#: docs/performance.md is this list's first entry.
+ENUM_CONFIGS = [(4, 0.2), (6, 0.1), (5, 0.25)]
+MAX_CONFIGS = [(4, 0.2), (6, 0.1)]
+
+QUICK_SCALE = 0.3
+QUICK_REPS = 3
+FULL_REPS = 5
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Benchmark the bitset search engine against legacy.",
+    )
+    parser.add_argument(
+        "--dataset", default="dblp_like", help="registry dataset name"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: scaled-down dataset, fewer repetitions",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "exit 1 if engines disagree or bitset is slower than legacy "
+            "beyond --tolerance"
+        ),
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="noise allowance for --check (default 0.10 = 10%%)",
+    )
+    parser.add_argument(
+        "--reps",
+        type=int,
+        default=0,
+        help="repetitions per engine per config (default: 5, quick: 3)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("benchmarks/perf"),
+        help="directory for the BENCH_*.json reports",
+    )
+    return parser
+
+
+def _print_report(report: BenchReport) -> None:
+    print(
+        f"[{report.benchmark}] {report.algorithm} on {report.dataset} "
+        f"(scale={report.scale}, median of {report.repetitions})"
+    )
+    for config in report.configs:
+        legacy = config.engines["legacy"].median_s
+        bitset = config.engines["bitset"].median_s
+        flag = "" if config.identical_output else "  OUTPUT MISMATCH"
+        print(
+            f"  k={config.k} tau={config.tau}: "
+            f"legacy={legacy:.3f}s bitset={bitset:.3f}s "
+            f"speedup={config.speedup:.2f}x{flag}"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    scale = QUICK_SCALE if args.quick else 1.0
+    reps = args.reps or (QUICK_REPS if args.quick else FULL_REPS)
+
+    reports = [
+        run_enumeration_bench(args.dataset, ENUM_CONFIGS, reps, scale),
+        run_maximum_bench(args.dataset, MAX_CONFIGS, reps, scale),
+    ]
+
+    failures: list[str] = []
+    for report in reports:
+        _print_report(report)
+        path = report.write(args.out)
+        print(f"  wrote {path}")
+        if not report.all_identical():
+            failures.append(f"{report.benchmark}: engine outputs differ")
+        worst = report.worst_ratio()
+        if worst > 1.0 + args.tolerance:
+            failures.append(
+                f"{report.benchmark}: bitset {worst:.2f}x the legacy "
+                f"median somewhere (tolerance {1.0 + args.tolerance:.2f}x)"
+            )
+
+    if args.check and failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - console entry
+    sys.exit(main())

@@ -1,0 +1,219 @@
+"""Measurement core for the engine benchmarks.
+
+Protocol
+--------
+Wall-clock comparisons between two in-process engines on a noisy machine
+need two defenses, both applied here:
+
+* **Interleaving** — each repetition runs *both* engines back to back
+  (legacy, then bitset) before the next repetition starts, so slow drift
+  in machine load lands on both sides rather than biasing whichever
+  engine happened to run last.
+* **Median of N** — the reported time per engine is the median over the
+  repetitions, which throws away one-off spikes that a mean would absorb.
+
+Every run also re-verifies the engines' contract: identical results (for
+enumeration, the same cliques in the same yield order) and identical
+statistics counters.  A benchmark whose sides disagree is reported with
+``identical_output: false`` and fails the ``--check`` gate — a speedup
+over wrong answers is not a speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.core.enumeration import Engine, EnumerationStats, muce_plus_plus
+from repro.core.maximum import MaximumSearchStats, max_uc_plus
+from repro.datasets.registry import load_dataset
+from repro.uncertain.graph import Node, UncertainGraph
+
+__all__ = [
+    "EngineRun",
+    "ConfigResult",
+    "BenchReport",
+    "run_enumeration_bench",
+    "run_maximum_bench",
+]
+
+ENGINES: tuple[Engine, ...] = ("legacy", "bitset")
+
+
+@dataclass
+class EngineRun:
+    """Timings and counters for one engine at one (k, tau) config."""
+
+    times_s: list[float] = field(default_factory=list)
+    median_s: float = 0.0
+    stats: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class ConfigResult:
+    """One (k, tau) config measured on both engines."""
+
+    k: int
+    tau: float
+    engines: dict[str, EngineRun]
+    speedup: float
+    identical_output: bool
+
+
+@dataclass
+class BenchReport:
+    """Everything one ``BENCH_*.json`` file records."""
+
+    benchmark: str
+    algorithm: str
+    dataset: str
+    scale: float
+    repetitions: int
+    interleaved: bool
+    configs: list[ConfigResult]
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2) + "\n"
+
+    def write(self, directory: Path) -> Path:
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"BENCH_{self.benchmark}.json"
+        path.write_text(self.to_json())
+        return path
+
+    def worst_ratio(self) -> float:
+        """Max over configs of bitset median / legacy median (lower is
+        better; > 1 means the bitset engine lost somewhere)."""
+        worst = 0.0
+        for config in self.configs:
+            legacy = config.engines["legacy"].median_s
+            bitset = config.engines["bitset"].median_s
+            if legacy > 0.0:
+                worst = max(worst, bitset / legacy)
+        return worst
+
+    def all_identical(self) -> bool:
+        return all(config.identical_output for config in self.configs)
+
+
+def _median(values: list[float]) -> float:
+    return float(statistics.median(values))
+
+
+def _enum_once(
+    graph: UncertainGraph, k: int, tau: float, engine: Engine
+) -> tuple[float, list[frozenset[Node]], dict[str, int]]:
+    stats = EnumerationStats()
+    start = time.perf_counter()
+    cliques = list(muce_plus_plus(graph, k, tau, stats=stats, engine=engine))
+    elapsed = time.perf_counter() - start
+    return elapsed, cliques, dict(asdict(stats))
+
+
+def _max_once(
+    graph: UncertainGraph, k: int, tau: float, engine: Engine
+) -> tuple[float, frozenset[Node] | None, dict[str, int]]:
+    stats = MaximumSearchStats()
+    start = time.perf_counter()
+    best = max_uc_plus(graph, k, tau, stats=stats, engine=engine)
+    elapsed = time.perf_counter() - start
+    return elapsed, best, dict(asdict(stats))
+
+
+def run_enumeration_bench(
+    dataset: str,
+    configs: list[tuple[int, float]],
+    repetitions: int,
+    scale: float = 1.0,
+) -> BenchReport:
+    """Benchmark ``muce_plus_plus`` bitset vs legacy on ``dataset``."""
+    graph = load_dataset(dataset, scale=scale)
+    results: list[ConfigResult] = []
+    for k, tau in configs:
+        runs: dict[str, EngineRun] = {e: EngineRun() for e in ENGINES}
+        outputs: dict[str, list[frozenset[Node]]] = {}
+        for _ in range(repetitions):
+            for engine in ENGINES:
+                elapsed, cliques, stats = _enum_once(graph, k, tau, engine)
+                runs[engine].times_s.append(elapsed)
+                runs[engine].stats = stats
+                outputs[engine] = cliques
+        for run in runs.values():
+            run.median_s = _median(run.times_s)
+        legacy, bitset = runs["legacy"], runs["bitset"]
+        results.append(
+            ConfigResult(
+                k=k,
+                tau=tau,
+                engines=runs,
+                speedup=(
+                    legacy.median_s / bitset.median_s
+                    if bitset.median_s > 0.0
+                    else 0.0
+                ),
+                identical_output=(
+                    outputs["legacy"] == outputs["bitset"]
+                    and legacy.stats == bitset.stats
+                ),
+            )
+        )
+    return BenchReport(
+        benchmark="enumeration",
+        algorithm="muce_plus_plus",
+        dataset=dataset,
+        scale=scale,
+        repetitions=repetitions,
+        interleaved=True,
+        configs=results,
+    )
+
+
+def run_maximum_bench(
+    dataset: str,
+    configs: list[tuple[int, float]],
+    repetitions: int,
+    scale: float = 1.0,
+) -> BenchReport:
+    """Benchmark ``max_uc_plus`` bitset vs legacy on ``dataset``."""
+    graph = load_dataset(dataset, scale=scale)
+    results: list[ConfigResult] = []
+    for k, tau in configs:
+        runs: dict[str, EngineRun] = {e: EngineRun() for e in ENGINES}
+        outputs: dict[str, frozenset[Node] | None] = {}
+        for _ in range(repetitions):
+            for engine in ENGINES:
+                elapsed, best, stats = _max_once(graph, k, tau, engine)
+                runs[engine].times_s.append(elapsed)
+                runs[engine].stats = stats
+                outputs[engine] = best
+        for run in runs.values():
+            run.median_s = _median(run.times_s)
+        legacy, bitset = runs["legacy"], runs["bitset"]
+        results.append(
+            ConfigResult(
+                k=k,
+                tau=tau,
+                engines=runs,
+                speedup=(
+                    legacy.median_s / bitset.median_s
+                    if bitset.median_s > 0.0
+                    else 0.0
+                ),
+                identical_output=(
+                    outputs["legacy"] == outputs["bitset"]
+                    and legacy.stats == bitset.stats
+                ),
+            )
+        )
+    return BenchReport(
+        benchmark="maximum",
+        algorithm="max_uc_plus",
+        dataset=dataset,
+        scale=scale,
+        repetitions=repetitions,
+        interleaved=True,
+        configs=results,
+    )

@@ -31,6 +31,10 @@ from repro.core.enumeration import (
     muce_plus_plus,
     EnumerationStats,
 )
+from repro.core.kernel import (
+    CompiledComponent,
+    compile_component,
+)
 from repro.core.bruteforce import (
     brute_force_maximal_cliques,
     brute_force_maximum_clique,
@@ -88,6 +92,8 @@ __all__ = [
     "muce_plus",
     "muce_plus_plus",
     "EnumerationStats",
+    "CompiledComponent",
+    "compile_component",
     "brute_force_maximal_cliques",
     "brute_force_maximum_clique",
     "brute_force_tau_degree",

@@ -38,14 +38,20 @@ from dataclasses import dataclass
 from typing import Iterator, Literal
 
 from repro.core.cut_pruning import cut_optimize
+from repro.core.kernel import (
+    KERNEL_COMPONENT_LIMIT,
+    enumerate_component,
+    node_sort_key,
+)
 from repro.core.ktau_core import dp_core_plus
-from repro.core.topk_core import topk_core
+from repro.core.topk_core import topk_core, topk_core_arrays
 from repro.deterministic.components import component_subgraphs
 from repro.uncertain.graph import Node, UncertainGraph
 from repro.utils.validation import threshold_floor, validate_k, validate_tau
 
 __all__ = [
     "EnumerationStats",
+    "Engine",
     "maximal_cliques",
     "muce",
     "muce_plus",
@@ -53,6 +59,11 @@ __all__ = [
 ]
 
 PruningRule = Literal["topk", "ktau", "none"]
+
+#: Search-core selector: ``"bitset"`` runs the compiled kernel of
+#: :mod:`repro.core.kernel`; ``"legacy"`` the original dict-of-dicts
+#: recursion.  Outputs are identical (see ``tests/core/test_kernel_parity``).
+Engine = Literal["bitset", "legacy"]
 
 
 @dataclass
@@ -69,13 +80,18 @@ class EnumerationStats:
     cliques: int = 0
 
 
-def _node_sort_key(node: Node) -> tuple[str, str]:
-    """Deterministic total order over arbitrary hashable nodes."""
-    return (type(node).__name__, str(node))
+#: Single source of the node order lives in the kernel's compile step;
+#: these aliases keep the historical names importable.
+_node_sort_key = node_sort_key
 
 
 def _ordered(nodes: Iterator[Node] | list[Node]) -> list[Node]:
-    """Nodes in the library's lexicographic order (Algorithm 4, line 16)."""
+    """Nodes in the library's lexicographic order (Algorithm 4, line 16).
+
+    Only the legacy engine pays this per-component sort at search time;
+    the bitset engine's compile step establishes the same order once and
+    reuses it for ids, candidate iteration, and decompilation.
+    """
     return sorted(nodes, key=_node_sort_key)
 
 
@@ -87,6 +103,7 @@ def maximal_cliques(
     cut: bool = True,
     insearch: bool = True,
     stats: EnumerationStats | None = None,
+    engine: Engine = "bitset",
 ) -> Iterator[frozenset[Node]]:
     """Enumerate all maximal (k, tau)-cliques of ``graph``.
 
@@ -102,18 +119,34 @@ def maximal_cliques(
         12-15).
     stats:
         optional mutable counter object filled in while enumerating.
+    engine:
+        ``"bitset"`` (default) compiles each component to dense ids and
+        bitmask adjacency before searching (:mod:`repro.core.kernel`);
+        ``"legacy"`` keeps the original dict-of-dicts recursion.  Both
+        yield identical cliques in identical order with identical stats.
 
     Yields each maximal clique exactly once as a frozenset of nodes.
+
+    This is a generator function, so *nothing* — validation, pruning, cut
+    optimization, component splitting — happens until the first
+    ``next()``; a regression test pins that laziness.
     """
     validate_k(k)
     tau = validate_tau(tau)
     if pruning not in ("topk", "ktau", "none"):
         raise ValueError(f"unknown pruning rule {pruning!r}")
+    if engine not in ("bitset", "legacy"):
+        raise ValueError(f"unknown engine {engine!r}")
     stats = stats if stats is not None else EnumerationStats()
     min_size = k + 1
 
     if pruning == "topk":
-        survivors = set(topk_core(graph, k, tau).nodes)
+        # Same fixpoint either way; the bitset engine uses the compiled
+        # array peel so large graphs skip the per-edge hashing/bisects.
+        if engine == "bitset":
+            survivors = set(topk_core_arrays(graph, k, tau))
+        else:
+            survivors = set(topk_core(graph, k, tau).nodes)
     elif pruning == "ktau":
         survivors = dp_core_plus(graph, k, tau)
     else:
@@ -137,11 +170,26 @@ def maximal_cliques(
     for component in components:
         if component.num_nodes < min_size:
             continue
-        candidates = [(v, 1.0) for v in _ordered(component.nodes())]
-        yield from _muc(
-            component, [], 1.0, candidates, [], k, tau_floor, min_size,
-            insearch, stats,
-        )
+        if (
+            engine == "bitset"
+            and component.num_nodes <= KERNEL_COMPONENT_LIMIT
+        ):
+            # The module global is read here (not at import) so tests can
+            # monkeypatch the in-search gate for either engine.  Oversized
+            # components fall through to the tuple-list recursion below —
+            # above the limit every bitmask op pays O(n / 64) words even
+            # where candidate sets are tiny, which is slower than the
+            # legacy core (outputs are identical either way).
+            yield from enumerate_component(
+                component, k, tau_floor, min_size, insearch,
+                _INSEARCH_MIN_CANDIDATES, stats,
+            )
+        else:
+            candidates = [(v, 1.0) for v in _ordered(component.nodes())]
+            yield from _muc(
+                component, [], 1.0, candidates, [], k, tau_floor, min_size,
+                insearch, stats,
+            )
 
 
 #: The in-search peel is skipped for candidate sets smaller than this —
@@ -316,12 +364,13 @@ def muce(
     k: int,
     tau: float,
     stats: EnumerationStats | None = None,
+    engine: Engine = "bitset",
 ) -> Iterator[frozenset[Node]]:
     """The Mukherjee et al. [18], [19] baseline: set-enumeration search with
     monotonicity and branch-size pruning but no core-based pruning."""
     return maximal_cliques(
         graph, k, tau, pruning="none", cut=False, insearch=False,
-        stats=stats,
+        stats=stats, engine=engine,
     )
 
 
@@ -330,10 +379,12 @@ def muce_plus(
     k: int,
     tau: float,
     stats: EnumerationStats | None = None,
+    engine: Engine = "bitset",
 ) -> Iterator[frozenset[Node]]:
     """Algorithm 4 with the (k, tau)-core pruning rule (``MUCE+``)."""
     return maximal_cliques(
         graph, k, tau, pruning="ktau", cut=True, insearch=True, stats=stats,
+        engine=engine,
     )
 
 
@@ -342,8 +393,10 @@ def muce_plus_plus(
     k: int,
     tau: float,
     stats: EnumerationStats | None = None,
+    engine: Engine = "bitset",
 ) -> Iterator[frozenset[Node]]:
     """Algorithm 4 with the (Top_k, tau)-core pruning rule (``MUCE++``)."""
     return maximal_cliques(
         graph, k, tau, pruning="topk", cut=True, insearch=True, stats=stats,
+        engine=engine,
     )

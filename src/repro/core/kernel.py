@@ -1,0 +1,688 @@
+"""Compiled search kernel for the MUCE/MaxUC+ hot paths.
+
+The backtracking searches in :mod:`repro.core.enumeration` and
+:mod:`repro.core.maximum` are written over :class:`UncertainGraph`'s
+dict-of-dicts adjacency: every candidate filter is a per-edge hash lookup
+on arbitrary node objects, every branch rebuilds ``(node, pi)`` tuple
+lists for both the candidate set *and* the excluded set, and the
+in-search (Top_k, tau)-core peel rebuilds sorted probability lists from
+scratch at every recursion level.  This module removes that overhead with
+a per-component *compilation step*:
+
+1. nodes are mapped to dense ints ``0 .. n-1`` in the library's
+   deterministic order, so the compiled id order doubles as the search
+   order — computed exactly once per component;
+2. adjacency is materialised several ways: CSR-style flat neighbor and
+   probability arrays in per-row descending-probability order (the form
+   the in-search core peel consumes without any re-sorting), Python-int
+   bitmask rows (one ``n``-bit integer per node, so neighbor
+   intersections are a single ``&``), dense probability rows (plain float
+   lists indexed by node id, ``0.0`` marking non-edges) for small
+   components, and int-keyed probability dicts as the large-component
+   fallback.
+
+The enumeration core keeps the candidate set ``C`` as a list of
+``(id, pi)`` pairs exactly shaped like the legacy loop (measured faster
+than bit-extraction for the tree's many small calls) and adds one
+mask-powered shortcut the legacy representation cannot afford:
+
+* the excluded set ``X`` is never materialised.  Legacy filters an
+  explicit ``X`` list on every branch only to test ``X == empty`` at
+  leaves.  The kernel instead maintains ``common``, the intersection of
+  ``adj[r]`` over the current clique (one ``&`` per recursion step), and
+  a ``banned`` mask of branch-size-pruned candidates (which legacy
+  deliberately keeps out of ``X``).  At a leaf (``C`` empty) a node
+  ``x`` would sit in legacy's ``X`` iff ``x in common & ~banned`` and
+  ``CPr(R) * pi_x(R) >= tau_floor``: every node of the component either
+  reached this leaf's ``C`` (impossible — ``C`` is empty), died on an
+  adjacency filter (not in ``common``), was branch-size pruned above
+  (``banned``), or was passed over/threshold-filtered — and for those the
+  incremental compares legacy ran along the path are all implied by the
+  final one, because IEEE multiplication by factors ``<= 1`` is monotone
+  non-increasing.  Recomputing ``pi_x`` in clique order reproduces
+  legacy's float sequence bit for bit, so emission decisions are
+  identical while the per-branch ``X`` filtering work disappears
+  entirely.
+
+Results are decompiled back to the original node labels, and every float
+that influences a decision is produced by the same multiplication
+sequence as the legacy code, so outputs, yield order, and the statistics
+counters are identical to ``engine="legacy"`` (pinned by
+``tests/core/test_kernel_parity.py``).
+
+The entry points are :func:`enumerate_component` (the MUC recursion of
+Algorithm 4) and :func:`maximum_component` (the MaxUC+ color-bound
+branch-and-bound); both operate on one connected component as produced by
+the pruning/cut pipeline.  The pre-search (Top_k, tau)-core itself has a
+compiled twin in :func:`repro.core.topk_core.topk_core_arrays`.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import TYPE_CHECKING, Iterator
+
+from repro.core.topk_core import topk_peel_masks
+from repro.deterministic.coloring import greedy_coloring
+from repro.uncertain.graph import Node, UncertainGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards (types only)
+    from repro.core.enumeration import EnumerationStats
+    from repro.core.maximum import MaximumSearchStats
+
+__all__ = [
+    "CompiledComponent",
+    "compile_component",
+    "node_sort_key",
+    "iter_bits",
+    "enumerate_component",
+    "maximum_component",
+    "KERNEL_COMPONENT_LIMIT",
+]
+
+#: Set-bit iteration works through masks 64 bits at a time: each chunk is a
+#: machine-word int, so the extraction loop never does big-int arithmetic.
+_CHUNK_MASK = 0xFFFFFFFFFFFFFFFF
+
+#: Components up to this many nodes get dense probability rows (n floats
+#: per node, 0.0 for non-edges); larger ones fall back to int-keyed dicts
+#: to keep compilation O(n + m) and memory bounded.
+_DENSE_ROW_LIMIT = 1024
+
+#: Largest component the compiled *enumeration* core accepts.  Above this
+#: every bitmask op pays O(n / 64) words even deep in the tree where the
+#: candidate sets are tiny (a sparse 9000-node component makes each
+#: ``common & adj[u]`` a 141-word operation), which was measured slower
+#: than the tuple-list recursion — so the engine dispatch in
+#: :mod:`repro.core.enumeration` routes oversized components to the
+#: legacy core instead.  Matches :data:`_DENSE_ROW_LIMIT`, so the compiled
+#: enumeration always has dense probability rows.
+KERNEL_COMPONENT_LIMIT = _DENSE_ROW_LIMIT
+
+
+def node_sort_key(node: Node) -> tuple[str, str]:
+    """Deterministic total order over arbitrary hashable nodes.
+
+    Single definition of the library's node order; the search drivers and
+    the compiler below share it, and compilation evaluates it exactly once
+    per node.
+    """
+    return (type(node).__name__, str(node))
+
+
+class CompiledComponent:
+    """One component compiled to dense-int, bitmask and CSR form.
+
+    ``nodes[i]`` is the original label of id ``i``; ids follow the
+    library's deterministic node order, so ascending-id iteration
+    reproduces the legacy candidate order exactly.  The CSR rows
+    (``row_offsets`` / ``nbr_ids`` / ``nbr_probs``) are sorted by
+    descending probability (ties by id) so a top-k scan reads a prefix.
+    ``bits[i]`` caches ``1 << i`` (big-int shifts are not free), and
+    ``rows`` holds the dense probability rows for small components
+    (``None`` above :data:`_DENSE_ROW_LIMIT`).
+    """
+
+    __slots__ = (
+        "nodes",
+        "index",
+        "n",
+        "adj",
+        "prob",
+        "rows",
+        "bits",
+        "row_offsets",
+        "nbr_ids",
+        "nbr_probs",
+        "full_mask",
+    )
+
+    def __init__(self, graph: UncertainGraph) -> None:
+        order = sorted(graph.nodes(), key=node_sort_key)
+        index = {u: i for i, u in enumerate(order)}
+        n = len(order)
+        bits = [1 << i for i in range(n)]
+        dense = n <= _DENSE_ROW_LIMIT
+
+        adj: list[int] = []
+        prob: list[dict[int, float]] = []
+        rows: list[list[float]] | None = [] if dense else None
+        row_offsets = array("l", [0])
+        nbr_ids = array("l")
+        nbr_probs = array("d")
+
+        for u in order:
+            row: dict[int, float] = {}
+            mask = 0
+            for v, p in graph.incident(u).items():
+                j = index[v]
+                row[j] = p
+                mask |= bits[j]
+            adj.append(mask)
+            prob.append(row)
+            if rows is not None:
+                flat = [0.0] * n
+                for j, p in row.items():
+                    flat[j] = p
+                rows.append(flat)
+            for j, p in sorted(row.items(), key=lambda e: (-e[1], e[0])):
+                nbr_ids.append(j)
+                nbr_probs.append(p)
+            row_offsets.append(len(nbr_ids))
+
+        self.nodes = order
+        self.index = index
+        self.n = n
+        self.adj = adj
+        self.prob = prob
+        self.rows = rows
+        self.bits = bits
+        self.row_offsets = row_offsets
+        self.nbr_ids = nbr_ids
+        self.nbr_probs = nbr_probs
+        self.full_mask = (1 << n) - 1 if n else 0
+
+    def decompile(self, mask: int) -> frozenset[Node]:
+        """Original labels of the nodes whose bits are set in ``mask``."""
+        nodes = self.nodes
+        return frozenset(nodes[i] for i in iter_bits(mask))
+
+
+def compile_component(graph: UncertainGraph) -> CompiledComponent:
+    """Compile ``graph`` (typically one connected component) for search."""
+    return CompiledComponent(graph)
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set-bit positions of ``mask`` in ascending order.
+
+    Convenience for cold paths; the hot search loops below inline the same
+    chunked extraction to avoid generator overhead.
+    """
+    base = 0
+    while mask:
+        chunk = mask & _CHUNK_MASK
+        mask >>= 64
+        while chunk:
+            low = chunk & -chunk
+            chunk ^= low
+            yield base + low.bit_length() - 1
+        base += 64
+
+
+# ----------------------------------------------------------------------
+# Enumeration: the MUC recursion over the compiled component
+# ----------------------------------------------------------------------
+
+def enumerate_component(
+    component: UncertainGraph,
+    k: int,
+    tau_floor: float,
+    min_size: int,
+    insearch: bool,
+    insearch_min_candidates: int,
+    stats: EnumerationStats,
+) -> Iterator[frozenset[Node]]:
+    """All maximal (k, tau)-cliques of one component (Algorithm 4 core).
+
+    Mirrors ``enumeration._muc`` branch for branch: identical recursion
+    tree, identical floats, identical counter totals, identical clique
+    order — only the data representation differs (see the module
+    docstring for the virtual-``X`` argument).  The recursion is a plain
+    closure appending into a result list (a recursive *generator* pays one
+    generator object plus a StopIteration per search call, which dominates
+    on prune-heavy workloads), with the shared state — compiled arrays,
+    parameters, batched counters — held in cells rather than passed
+    through every call; the driver stays a generator, so consumers still
+    iterate lazily component by component.
+    """
+    comp = compile_component(component)
+    n = comp.n
+    if n == 0:
+        return
+    if comp.rows is None:  # pragma: no cover - dispatch keeps this out
+        raise ValueError(
+            "enumerate_component requires a component within "
+            f"KERNEL_COMPONENT_LIMIT ({KERNEL_COMPONENT_LIMIT}), got {n}"
+        )
+    adj = comp.adj
+    rows = comp.rows
+    bits = comp.bits
+    nodes = comp.nodes
+    out: list[frozenset[Node]] = []
+    # Batched stats, flushed once per component: attribute access on the
+    # stats object is too slow for a 10^5-calls recursion.
+    calls = insearch_prunes = branch_prunes = cliques = 0
+
+    def muc(
+        clique: list[int],
+        clique_len: int,
+        clique_prob: float,
+        cands: list[tuple[int, float]],
+        cand_mask: int,
+        common: int,
+        banned: int,
+    ) -> None:
+        # The recursive MUC procedure (Algorithm 4, lines 7-22).
+        # ``cands`` holds (id, pi) pairs in ascending id order — the
+        # compiled order *is* the legacy order — with pi the incremental
+        # product to the clique.  ``common`` is the intersection of
+        # adj[r] over the clique and ``banned`` the branch-size-pruned
+        # ids; together they stand in for legacy's X (see the module
+        # docstring).  ``cand_mask`` is the bitmask of ``cands`` — only
+        # guaranteed valid while the branch-size prune is still live
+        # (its sole consumer); deep calls pass 0.  C is never empty
+        # here: leaf children are handled inline below.
+        nonlocal calls, insearch_prunes, branch_prunes, cliques
+        calls += 1
+        nc = len(cands)
+        if nc >= insearch_min_candidates and insearch and clique_len < min_size:
+            # Lines 12-15 of Algorithm 4 over the compiled CSR rows:
+            # shrink C to the (Top_k, tau)-core of R + C, aborting when a
+            # clique member is peeled or under min_size nodes survive.
+            # Masks are rebuilt here rather than threaded through the
+            # recursion: the gate fires on a tiny fraction of calls, and
+            # the cand_mask argument is not valid on deep ones.
+            cand_mask = 0
+            for e in cands:
+                cand_mask |= bits[e[0]]
+            clique_mask = 0
+            for r in clique:
+                clique_mask |= bits[r]
+            alive = topk_peel_masks(
+                comp, clique_mask | cand_mask, clique_mask, k, tau_floor
+            )
+            if alive is None or alive.bit_count() < min_size:
+                insearch_prunes += 1
+                return
+            pruned = alive & cand_mask
+            if pruned != cand_mask:
+                insearch_prunes += 1
+                cand_mask = pruned
+                cands = [e for e in cands if pruned >> e[0] & 1]
+
+        i = 0
+        if clique_len + 1 < min_size:
+            # Shallow branch loop: the branch-size prune (line 19) can
+            # still fire, so the candidate bitmask is maintained and a
+            # popcount upper bound screens each branch — the threshold
+            # filter only ever shrinks the neighbor intersection, so a
+            # branch hopeless by popcount alone takes the same prune
+            # (and counter) without running the filter.
+            need = min_size - clique_len - 1
+            child_len = clique_len + 1
+            child_shallow = need > 1
+            rem_mask = cand_mask
+            for u, pi_u in cands:
+                i += 1
+                bu = bits[u]
+                rem_mask ^= bu
+                if (rem_mask & adj[u]).bit_count() < need:
+                    branch_prunes += 1
+                    banned |= bu
+                    continue
+                new_prob = clique_prob * pi_u
+                urow = rows[u]
+                # Line 17's candidate filter: v survives when the edge
+                # exists (dense rows store 0.0 for non-edges) and the
+                # incremental product clears the precomputed
+                # threshold_floor(tau) — the pragma covers that raw
+                # hot-loop compare.  An explicit loop, not a
+                # comprehension: on 3.11 every comprehension is a nested
+                # function call (PEP 709 inlining is 3.12+), which this
+                # loop runs ~10^6 times.
+                new_cands = []
+                for v, pi_v in cands[i:]:
+                    p = urow[v]
+                    if p:
+                        piv = pi_v * p
+                        if new_prob * piv >= tau_floor:  # repro-lint: ignore[RPL001]
+                            new_cands.append((v, piv))
+                if len(new_cands) >= need:
+                    # Same test as line 19's ``|R| + 1 + |C'| >= min_size``
+                    # with the constants folded into ``need``; new_cands
+                    # is non-empty here — an empty C cannot pass the size
+                    # test while the prune is live — so no leaf case.
+                    new_mask = 0
+                    if child_shallow:
+                        for e in new_cands:
+                            new_mask |= bits[e[0]]
+                    clique.append(u)
+                    muc(
+                        clique, child_len, new_prob, new_cands,
+                        new_mask, common & adj[u], banned,
+                    )
+                    clique.pop()
+                else:
+                    # Branch-size prune (Algorithm 4, line 19): u cannot
+                    # reach min_size here nor extend any later clique of
+                    # this subtree, so legacy keeps it out of X —
+                    # mirrored by the banned mask.
+                    branch_prunes += 1
+                    banned |= bu
+        else:
+            # Deep: every branch recurses (the size test is a tautology)
+            # and no prune can fire, so the whole subtree below runs in
+            # the lean branch loop.  ``banned`` is frozen once the prune
+            # is dead; its complement is taken once for all the subtree's
+            # leaf scans.
+            deep_branches(clique, clique_prob, cands, common, ~banned)
+
+    def deep_branches(
+        clique: list[int],
+        clique_prob: float,
+        cands: list[tuple[int, float]],
+        common: int,
+        not_banned: int,
+    ) -> None:
+        # The branch loop shared by every deep call — the clique already
+        # has at least min_size - 1 nodes, so for every *child* the
+        # in-search gate is dead (its clique reaches min_size), the
+        # branch-size prune cannot fire, and no candidate bitmask is
+        # needed.  The caller has already counted the enclosing call;
+        # child calls are counted here at the call site, which is what
+        # lets leaf and singleton children run without a frame.
+        nonlocal calls, cliques
+        i = 0
+        for u, pi_u in cands:
+            i += 1
+            new_prob = clique_prob * pi_u
+            urow = rows[u]
+            new_cands = []
+            for v, pi_v in cands[i:]:
+                p = urow[v]
+                if p:
+                    piv = pi_v * p
+                    if new_prob * piv >= tau_floor:  # repro-lint: ignore[RPL001]
+                        new_cands.append((v, piv))
+            clique.append(u)
+            if len(new_cands) > 1:
+                calls += 1
+                deep_branches(
+                    clique, new_prob, new_cands, common & adj[u], not_banned
+                )
+            elif new_cands:
+                # Singleton chain: the child would run exactly one branch
+                # whose tail is empty and land straight in its own leaf.
+                # Emulating the child frame *and* its leaf here drops
+                # about a quarter of all recursion frames; the two
+                # counter bumps are the child call and the leaf call
+                # legacy would have made.
+                v, piv = new_cands[0]
+                calls += 2
+                new_prob = new_prob * piv
+                clique.append(v)
+                wit = common & adj[u] & adj[v] & not_banned
+                blocked = False
+                base = 0
+                while wit:
+                    chunk = wit & _CHUNK_MASK
+                    wit >>= 64
+                    while chunk:
+                        low = chunk & -chunk
+                        chunk ^= low
+                        w = base + low.bit_length() - 1
+                        pi = 1.0
+                        for r in clique:
+                            pi *= rows[r][w]
+                            # Hot path: precomputed threshold_floor.
+                            if new_prob * pi < tau_floor:  # repro-lint: ignore[RPL001]
+                                break
+                        else:
+                            blocked = True
+                            wit = 0
+                            break
+                    base += 64
+                if not blocked:
+                    cliques += 1
+                    out.append(frozenset(nodes[x] for x in clique))
+                clique.pop()
+            else:
+                # The child call would find C empty: handle the leaf
+                # inline (same call count, no frame).  This is the
+                # virtual-X test: ``wit`` is the child's
+                # ``common & ~banned`` — every node adjacent to the whole
+                # clique that legacy's X could still contain at this
+                # leaf.  For each, pi is rebuilt by multiplying edge
+                # probabilities in clique (= path) order — the same float
+                # sequence legacy maintained incrementally — and compared
+                # exactly as legacy's final X filter did.  Partial
+                # products shrink monotonically, so dropping below the
+                # floor early is conclusive; completing the loop
+                # reproduces legacy's final compare bit for bit.
+                calls += 1
+                wit = common & adj[u] & not_banned
+                blocked = False
+                base = 0
+                while wit:
+                    chunk = wit & _CHUNK_MASK
+                    wit >>= 64
+                    while chunk:
+                        low = chunk & -chunk
+                        chunk ^= low
+                        w = base + low.bit_length() - 1
+                        pi = 1.0
+                        for r in clique:
+                            pi *= rows[r][w]
+                            # Hot path: precomputed threshold_floor.
+                            if new_prob * pi < tau_floor:  # repro-lint: ignore[RPL001]
+                                break
+                        else:
+                            # The witness extends R: not maximal.
+                            blocked = True
+                            wit = 0
+                            break
+                    base += 64
+                if not blocked:
+                    cliques += 1
+                    out.append(frozenset(nodes[x] for x in clique))
+            clique.pop()
+
+    muc(
+        [], 0, 1.0, [(v, 1.0) for v in range(n)], comp.full_mask,
+        comp.full_mask, 0,
+    )
+    stats.search_calls += calls
+    stats.insearch_prunes += insearch_prunes
+    stats.branch_size_prunes += branch_prunes
+    stats.cliques += cliques
+    yield from out
+
+
+# ----------------------------------------------------------------------
+# Maximum: the MaxUC+ color-bound branch-and-bound over bitmask state
+# ----------------------------------------------------------------------
+
+def maximum_component(
+    component: UncertainGraph,
+    k: int,
+    tau_floor: float,
+    min_size: int,
+    best_size: int,
+    use_advanced_one: bool,
+    use_advanced_two: bool,
+    insearch: bool,
+    stats: MaximumSearchStats,
+) -> tuple[list[Node] | None, int]:
+    """MaxUC+ search of one component, seeded with the incumbent size.
+
+    Returns ``(best, best_size)`` where ``best`` is the improved clique
+    as original labels (``None`` when the incumbent was not beaten).
+    Mirrors the closure in ``maximum.max_uc_plus`` exactly, including the
+    order in which the three color bounds and the in-search peel fire and
+    every float they produce (the bounds are the compiled twins of
+    :mod:`repro.core.bounds`).  There is no maximality test here, so the
+    candidate loop matches legacy's shape with dense rows and the bound
+    bookkeeping batched into local counters.
+    """
+    comp = compile_component(component)
+    n = comp.n
+    if n == 0:
+        return None, best_size
+    coloring = greedy_coloring(component)
+    color = [coloring[u] for u in comp.nodes]
+    adj = comp.adj
+    prob = comp.prob
+    rows = comp.rows
+    bits = comp.bits
+    nodes = comp.nodes
+    # Batched stats (flushed once per component; see _CALLS comment).
+    calls = size_prunes = basic_prunes = adv1_prunes = 0
+    adv2_prunes = ins_prunes = 0
+
+    best: list[Node] | None = None
+
+    def search(
+        clique: list[int],
+        clique_mask: int,
+        clique_prob: float,
+        cids: list[int],
+        cpis: list[float],
+        cand_mask: int,
+    ) -> None:
+        nonlocal best, best_size, calls, size_prunes, basic_prunes
+        nonlocal adv1_prunes, adv2_prunes, ins_prunes
+        calls += 1
+        clique_len = len(clique)
+        if clique_len > best_size:
+            best = [nodes[i] for i in clique]
+            best_size = clique_len
+        if not cids:
+            return
+
+        # Bounds, cheapest first (Section V implementation details).
+        if clique_len + len({color[v] for v in cids}) <= best_size:
+            basic_prunes += 1
+            return
+        if use_advanced_one:
+            best_per_color: dict[int, float] = {}
+            for j in range(len(cids)):
+                c = color[cids[j]]
+                pi_v = cpis[j]
+                if pi_v > best_per_color.get(c, 0.0):
+                    best_per_color[c] = pi_v
+            bound = _prefix_budget(
+                sorted(best_per_color.values(), reverse=True),
+                clique_prob, tau_floor,
+            )
+            if clique_len + bound <= best_size:
+                adv1_prunes += 1
+                return
+        if use_advanced_two and clique:
+            tightest: int | None = None
+            for w in clique:
+                wrow = prob[w]
+                best_per_color = {}
+                for v in cids:
+                    p = wrow.get(v)
+                    if p is None:
+                        continue  # v cannot join anyway; skip for w's budget
+                    c = color[v]
+                    if p > best_per_color.get(c, 0.0):
+                        best_per_color[c] = p
+                budget = _prefix_budget(
+                    sorted(best_per_color.values(), reverse=True),
+                    clique_prob, tau_floor,
+                )
+                if tightest is None or budget < tightest:
+                    tightest = budget
+                    if tightest == 0:
+                        break
+            bound = tightest if tightest is not None else 0
+            if clique_len + bound <= best_size:
+                adv2_prunes += 1
+                return
+
+        if insearch and clique_len < min_size:
+            members = clique_mask | cand_mask
+            alive = topk_peel_masks(comp, members, clique_mask, k, tau_floor)
+            if alive is None or alive.bit_count() < min_size:
+                ins_prunes += 1
+                return
+            if alive != members:
+                ins_prunes += 1
+                pruned = alive & cand_mask
+                if pruned != cand_mask:
+                    cand_mask = pruned
+                    keep_ids: list[int] = []
+                    keep_pis: list[float] = []
+                    for j in range(len(cids)):
+                        v = cids[j]
+                        if pruned >> v & 1:
+                            keep_ids.append(v)
+                            keep_pis.append(cpis[j])
+                    cids = keep_ids
+                    cpis = keep_pis
+
+        nc = len(cids)
+        rem_mask = cand_mask
+        i = 0
+        while i < nc:
+            if clique_len + nc - i <= best_size:
+                size_prunes += 1
+                return
+            u = cids[i]
+            pi_u = cpis[i]
+            i += 1
+            rem_mask ^= bits[u]
+            new_prob = clique_prob * pi_u
+            new_ids: list[int] = []
+            new_pis: list[float] = []
+            new_mask = 0
+            if rows is not None:
+                urow = rows[u]
+                for j in range(i, nc):
+                    v = cids[j]
+                    p = urow[v]
+                    if p:
+                        piv = cpis[j] * p
+                        # Hot path: tau_floor = threshold_floor(tau).
+                        if new_prob * piv >= tau_floor:  # repro-lint: ignore[RPL001]
+                            new_ids.append(v)
+                            new_pis.append(piv)
+                            new_mask |= bits[v]
+            else:
+                drow = prob[u]
+                get = drow.get
+                for j in range(i, nc):
+                    v = cids[j]
+                    dp = get(v)
+                    if dp is not None:
+                        piv = cpis[j] * dp
+                        # Same precomputed-floor fast path, dict fallback.
+                        if new_prob * piv >= tau_floor:  # repro-lint: ignore[RPL001]
+                            new_ids.append(v)
+                            new_pis.append(piv)
+                            new_mask |= bits[v]
+            clique.append(u)
+            search(
+                clique, clique_mask | bits[u], new_prob, new_ids, new_pis,
+                new_mask,
+            )
+            clique.pop()
+
+    search([], 0, 1.0, list(range(n)), [1.0] * n, comp.full_mask)
+    stats.search_calls += calls
+    stats.size_bound_prunes += size_prunes
+    stats.basic_color_prunes += basic_prunes
+    stats.advanced_one_prunes += adv1_prunes
+    stats.advanced_two_prunes += adv2_prunes
+    stats.insearch_prunes += ins_prunes
+    return best, best_size
+
+
+def _prefix_budget(
+    values: list[float], clique_prob: float, tau_floor: float
+) -> int:
+    """Longest prefix of descending ``values`` whose running product with
+    ``clique_prob`` stays at least tau — the compiled twin of
+    :func:`repro.core.bounds._prefix_budget` (same floats, same order)."""
+    count = 0
+    running = clique_prob
+    for value in values:
+        running *= value
+        # Hot path: tau_floor = threshold_floor(tau) fast path.
+        if running < tau_floor:  # repro-lint: ignore[RPL001]
+            break
+        count += 1
+    return count

@@ -152,6 +152,11 @@ def dp_core_plus(graph: UncertainGraph, k: int, tau: float) -> set[Node]:
        truncation bounds every DP row by the degeneracy;
     3. survival probabilities are maintained directly (Eqs. 5 and 6), so
        a deletion update touches only ``O(truncated tau-degree)`` entries.
+
+    The peel itself runs over an int-indexed compiled form of the
+    prefiltered graph (:func:`_survival_peel_indexed`) — same verified
+    peeling, same canonical fixpoint as :func:`_peel`, but without a
+    scratch-graph copy or per-edge hashing of node objects.
     """
     validate_k(k)
     tau = validate_tau(tau)
@@ -161,16 +166,97 @@ def dp_core_plus(graph: UncertainGraph, k: int, tau: float) -> set[Node]:
     work = graph.induced_subgraph(survivors)
     # Caps never exceed k: the peeling only needs to distinguish "below
     # k" from "at least k", and Lemma 2 lets us truncate by c_u as well.
-    cap = {u: min(core[u], k) for u in work}
+    cap = [min(core[u], k) for u in work.nodes()]
+    return _survival_peel_indexed(work, k, tau, cap)
 
-    def fresh(u: Node, probs: list[float]) -> _State:
-        row = survival_dp(probs, cap[u])
-        return row, tau_degree_from_survival(row, tau)
 
-    def update(payload: object, deg: int, p: float) -> _State | None:
-        return remove_edge_from_survival(payload, p, deg, tau)
+def _survival_peel_indexed(
+    work: UncertainGraph, k: int, tau: float, cap: list[int]
+) -> set[Node]:
+    """Verified survival-row peeling over a compiled int-indexed graph.
 
-    return _peel(work, k, tau, fresh, update)
+    Semantics of :func:`_peel` specialised to the survival-row state of
+    ``dp_core_plus``: verify-before-condemn (an incremental update that
+    claims a node fell below ``k`` is checked with a fresh, division-free
+    DP) plus the final verification sweep, repeated to a clean fixpoint —
+    so it converges to the same canonical core.  ``cap[i]`` is the DP
+    truncation for the ``i``-th node of ``work.nodes()``.
+
+    Instead of mutating a scratch graph, the peel marks nodes dead in a
+    flag array: an edge is gone exactly when either endpoint has been
+    processed, and the dead flag is raised *before* the processed node's
+    edges are walked, reproducing ``_peel``'s remove-then-update timing
+    (a fresh rebuild triggered mid-walk must not see the half-removed
+    edge).  Neighbor lists keep the graph's insertion order, so every
+    fresh DP multiplies probabilities in the same order as ``_peel``'s
+    ``list(work.incident(u).values())``.
+    """
+    order = list(work.nodes())
+    index = {u: i for i, u in enumerate(order)}
+    n = len(order)
+    nbr_ids: list[list[int]] = []
+    nbr_probs: list[list[float]] = []
+    for u in order:
+        inc = work.incident(u)
+        nbr_ids.append([index[v] for v in inc])
+        nbr_probs.append(list(inc.values()))
+
+    state: list[list[float]] = [[] for _ in range(n)]
+    tau_deg = [0] * n
+    dead = bytearray(n)
+    queued = bytearray(n)
+
+    def rebuild(i: int) -> None:
+        ids = nbr_ids[i]
+        ps = nbr_probs[i]
+        probs = [ps[j] for j in range(len(ids)) if not dead[ids[j]]]
+        row = survival_dp(probs, cap[i])
+        state[i] = row
+        tau_deg[i] = tau_degree_from_survival(row, tau)
+
+    queue: deque[int] = deque()
+    for i in range(n):
+        rebuild(i)
+        if tau_deg[i] < k:
+            queue.append(i)
+            queued[i] = 1
+
+    while True:
+        while queue:
+            i = queue.popleft()
+            dead[i] = 1
+            ids = nbr_ids[i]
+            ps = nbr_probs[i]
+            for j in range(len(ids)):
+                v = ids[j]
+                if dead[v] or queued[v]:
+                    continue
+                updated = remove_edge_from_survival(
+                    state[v], ps[j], tau_deg[v], tau
+                )
+                if updated is not None and updated[1] >= k:
+                    state[v], tau_deg[v] = updated
+                    continue
+                # The update requested a rebuild or claims v fell below
+                # k: verify with a fresh, division-free computation.
+                rebuild(v)
+                if tau_deg[v] < k:
+                    queue.append(v)
+                    queued[v] = 1
+
+        # Final sweep: recompute every survivor fresh; incremental drift
+        # may have left stale states that hide a node below k.
+        dirty = False
+        for i in range(n):
+            if dead[i]:
+                continue
+            rebuild(i)
+            if tau_deg[i] < k:
+                queue.append(i)
+                queued[i] = 1
+                dirty = True
+        if not dirty:
+            return {order[i] for i in range(n) if not dead[i]}
 
 
 def tau_core_numbers(graph: UncertainGraph, tau: float) -> dict[Node, int]:

@@ -23,7 +23,7 @@ nodes, so searches start from an incumbent size of ``k``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal
+from typing import AbstractSet, Literal
 
 from repro.core.bounds import (
     advanced_color_bound_one,
@@ -31,7 +31,8 @@ from repro.core.bounds import (
     basic_color_bound,
 )
 from repro.core.cut_pruning import cut_optimize
-from repro.core.topk_core import topk_core
+from repro.core.kernel import maximum_component, node_sort_key
+from repro.core.topk_core import topk_core, topk_core_arrays
 from repro.deterministic.coloring import greedy_coloring
 from repro.uncertain.graph import Node, UncertainGraph
 from repro.utils.validation import (
@@ -63,9 +64,13 @@ class MaximumSearchStats:
     best_size: int = 0
 
 
-def _node_sort_key(node: Node) -> tuple[str, str]:
-    """Deterministic total order over arbitrary hashable nodes."""
-    return (type(node).__name__, str(node))
+#: Single source of the node order lives in the kernel's compile step;
+#: the alias keeps the historical name importable.
+_node_sort_key = node_sort_key
+
+#: Search-core selector for :func:`max_uc_plus` (same contract as
+#: :data:`repro.core.enumeration.Engine`).
+Engine = Literal["bitset", "legacy"]
 
 
 # ----------------------------------------------------------------------
@@ -233,19 +238,30 @@ def max_uc_plus(
     use_advanced_one: bool = True,
     use_advanced_two: bool = True,
     insearch: bool = True,
+    engine: Engine = "bitset",
 ) -> frozenset[Node] | None:
     """Maximum (k, tau)-clique with core/cut pruning and color bounds.
 
     The ``use_advanced_*`` and ``insearch`` switches exist for the
     ablation benchmarks; the defaults reproduce the paper's ``MaxUC+``.
+    ``engine="bitset"`` (default) runs the per-component search on the
+    compiled kernel of :mod:`repro.core.kernel`; ``"legacy"`` keeps the
+    original closure — both return identical cliques and stats.
     """
     validate_k(k)
     tau = validate_tau(tau)
+    if engine not in ("bitset", "legacy"):
+        raise ValueError(f"unknown engine {engine!r}")
     stats = stats if stats is not None else MaximumSearchStats()
     min_size = k + 1
     tau_floor = threshold_floor(tau)
 
-    survivors = topk_core(graph, k, tau).nodes
+    # Same fixpoint either way; the bitset engine uses the compiled array
+    # peel so large graphs skip the per-edge hashing/bisects.
+    if engine == "bitset":
+        survivors: AbstractSet[Node] = topk_core_arrays(graph, k, tau)
+    else:
+        survivors = topk_core(graph, k, tau).nodes
     pruned = graph.induced_subgraph(survivors)
     components = cut_optimize(pruned, k, tau).components
 
@@ -254,6 +270,14 @@ def max_uc_plus(
 
     for component in components:
         if component.num_nodes <= best_size:
+            continue
+        if engine == "bitset":
+            improved, best_size = maximum_component(
+                component, k, tau_floor, min_size, best_size,
+                use_advanced_one, use_advanced_two, insearch, stats,
+            )
+            if improved is not None:
+                best = improved
             continue
         colors = greedy_coloring(component)
 

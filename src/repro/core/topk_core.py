@@ -19,12 +19,26 @@ import bisect
 import math
 from collections import deque
 from dataclasses import dataclass
-from typing import AbstractSet
+from typing import TYPE_CHECKING, AbstractSet
 
 from repro.uncertain.graph import Node, UncertainGraph
-from repro.utils.validation import prob_below, validate_k, validate_tau
+from repro.utils.validation import (
+    prob_below,
+    threshold_floor,
+    validate_k,
+    validate_tau,
+)
 
-__all__ = ["top_k_product_probability", "topk_core", "TopKCoreResult"]
+if TYPE_CHECKING:  # pragma: no cover - type-only (kernel imports us)
+    from repro.core.kernel import CompiledComponent
+
+__all__ = [
+    "top_k_product_probability",
+    "topk_core",
+    "TopKCoreResult",
+    "topk_core_arrays",
+    "topk_peel_masks",
+]
 
 
 def top_k_product_probability(
@@ -125,3 +139,183 @@ def topk_core(
 
     survivors = frozenset(u for u in graph if u not in removed)
     return TopKCoreResult(survivors, True)
+
+
+def topk_core_arrays(
+    graph: UncertainGraph, k: int, tau: float
+) -> frozenset[Node]:
+    """Algorithm 3's peel over a compiled whole-graph array form.
+
+    Array-based fast path for the *pre-search* pruning stage of MUCE++ /
+    MaxUC+ (the ``engine="bitset"`` twin of :func:`topk_core` without the
+    ``fixed`` machinery — the pre-search call has no clique yet).  Nodes
+    are compiled to dense ints, incident probabilities to flat CSR rows in
+    descending-probability order, and liveness to a flag array, so the
+    peel runs without per-edge hashing of node objects or value-bisects.
+
+    Parity with :func:`topk_core`: the peel condition is monotone under
+    node removal, so the surviving fixpoint is unique regardless of peel
+    order.  Each check multiplies the k highest surviving probabilities
+    in ascending order — the float sequence of
+    ``math.prod(sorted(probs)[-k:])`` — and compares against
+    ``threshold_floor(tau)``, the exact negation of ``prob_below``.
+    Returns the surviving node set.
+    """
+    validate_k(k)
+    tau = validate_tau(tau)
+    order = list(graph.nodes())
+    if k == 0:
+        # pi_0 is the empty product 1.0, which clears any valid tau.
+        return frozenset(order)
+    tau_floor = threshold_floor(tau)
+    index = {u: i for i, u in enumerate(order)}
+    n = len(order)
+
+    # CSR adjacency in incident order (iteration only — no sort needed)
+    # plus an ascending sorted probability list per node, exactly the
+    # state topk_core keeps; bisect removal by value is safe for
+    # duplicates because equal floats are interchangeable in a product.
+    row_offsets = [0]
+    nbr_ids: list[int] = []
+    nbr_probs: list[float] = []
+    vals: list[list[float]] = []
+    id_of = index.__getitem__
+    for u in order:
+        inc = graph.incident(u)
+        nbr_ids.extend(map(id_of, inc))
+        nbr_probs.extend(inc.values())
+        row_offsets.append(len(nbr_ids))
+        vals.append(sorted(inc.values()))
+
+    def below(values: list[float]) -> bool:
+        # pi_k as topk_core computes it: math.prod of the ascending top-k
+        # slice multiplies left to right — reproduced exactly here.
+        nv = len(values)
+        if nv < k:
+            return True
+        product = 1.0
+        for p in values[nv - k:]:
+            product *= p
+        # Hot path: tau_floor = threshold_floor(tau) fast path.
+        return product < tau_floor  # repro-lint: ignore[RPL001]
+
+    condemned = bytearray(n)
+    stack: list[int] = []
+    for u in range(n):
+        if below(vals[u]):
+            condemned[u] = 1
+            stack.append(u)
+    # Peel order does not matter: the survival condition is monotone under
+    # node removal, so the fixpoint (and hence parity with topk_core's
+    # FIFO peel) is order-independent.
+    while stack:
+        u = stack.pop()
+        for i in range(row_offsets[u], row_offsets[u + 1]):
+            v = nbr_ids[i]
+            if condemned[v]:
+                continue
+            vv = vals[v]
+            idx = bisect.bisect_left(vv, nbr_probs[i])
+            vv.pop(idx)
+            # The top-k product reads only the last k entries; removing a
+            # value strictly below that window leaves the window — and
+            # hence v's survival — unchanged, so the recheck is skipped
+            # (when fewer than k values remain the condition is never
+            # taken and below() still fires).
+            if idx <= len(vv) - k:
+                continue
+            if below(vv):
+                condemned[v] = 1
+                stack.append(v)
+
+    return frozenset(order[i] for i in range(n) if not condemned[i])
+
+
+def topk_peel_masks(
+    comp: CompiledComponent,
+    members: int,
+    fixed: int,
+    k: int,
+    tau_floor: float,
+) -> int | None:
+    """Algorithm 3's peel over a compiled component, as bitmasks.
+
+    Array-based fast path for the *in-search* pruning of Algorithms 4/5:
+    ``members`` selects the nodes of the induced subgraph (the search's
+    ``R + C``) and ``fixed`` the paper's ``V_I`` (the clique ``R``), both
+    as bitmasks over ``comp``'s dense ids.  Returns the surviving node
+    mask, or ``None`` as soon as a fixed node is condemned (the branch is
+    dead either way, so no work is wasted finishing the peel).
+
+    Parity with :func:`topk_core` / the legacy ``_insearch_topk_prune``:
+    the peel condition is monotone under node removal, so the surviving
+    fixpoint is unique regardless of peel order, and a fixed node is
+    condemned under *some* order iff it is outside that fixpoint — hence
+    the abort decision is order-independent too.  Each check multiplies
+    the k highest surviving probabilities in ascending order, the exact
+    float sequence of ``math.prod(sorted(probs)[-k:])``, and candidates
+    are identified by node id (not by value-bisect on a probability
+    list), so duplicate probabilities cannot be confused.
+    """
+    if k == 0:
+        # pi_0 is the empty product 1.0, which clears any valid tau.
+        return members
+    row_offsets = comp.row_offsets
+    nbr_ids = comp.nbr_ids
+    nbr_probs = comp.nbr_probs
+    adj = comp.adj
+    alive = members
+    stack: list[int] = []
+
+    def survives(u: int) -> bool:
+        # Top-k product over surviving neighbors: the CSR row is sorted by
+        # descending probability, so the first k live entries are the top
+        # k; they are multiplied back-to-front (ascending) to reproduce
+        # the legacy float sequence exactly.
+        top: list[float] = []
+        for i in range(row_offsets[u], row_offsets[u + 1]):
+            if alive >> nbr_ids[i] & 1:
+                top.append(nbr_probs[i])
+                if len(top) == k:
+                    product = 1.0
+                    for j in range(k - 1, -1, -1):
+                        product *= top[j]
+                    # Hot path: tau_floor = threshold_floor(tau) fast path.
+                    return product >= tau_floor  # repro-lint: ignore[RPL001]
+        return False
+
+    base = 0
+    scan = members
+    while scan:
+        chunk = scan & 0xFFFFFFFFFFFFFFFF
+        scan >>= 64
+        while chunk:
+            low = chunk & -chunk
+            chunk ^= low
+            u = base + low.bit_length() - 1
+            if not survives(u):
+                if fixed >> u & 1:
+                    return None
+                alive ^= 1 << u
+                stack.append(u)
+        base += 64
+
+    while stack:
+        u = stack.pop()
+        base = 0
+        scan = adj[u] & alive
+        while scan:
+            chunk = scan & 0xFFFFFFFFFFFFFFFF
+            scan >>= 64
+            while chunk:
+                low = chunk & -chunk
+                chunk ^= low
+                v = base + low.bit_length() - 1
+                if not survives(v):
+                    if fixed >> v & 1:
+                        return None
+                    alive ^= 1 << v
+                    stack.append(v)
+            base += 64
+
+    return alive

@@ -168,6 +168,27 @@ class TestConfigurations:
         assert isinstance(first, frozenset)
         gen.close()
 
+    def test_nothing_runs_before_first_next(self, monkeypatch):
+        # Full laziness regression: neither validation nor the pruning
+        # pipeline may execute at call time.  Invalid arguments must not
+        # raise until the generator is started, and the pre-search core
+        # computation must not be reached at all before then.
+        import repro.core.enumeration as enumeration
+
+        g = make_random_graph(8, 0.5, seed=3)
+        gen = maximal_cliques(g, -1, 0.5)  # invalid k: no raise yet
+        with pytest.raises(ValueError):
+            next(gen)
+
+        def boom(*args, **kwargs):
+            raise AssertionError("pruning ran before first next()")
+
+        monkeypatch.setattr(enumeration, "topk_core_arrays", boom)
+        monkeypatch.setattr(enumeration, "topk_core", boom)
+        gen = maximal_cliques(g, 2, 0.3)  # pruning not triggered here
+        with pytest.raises(AssertionError, match="pruning ran"):
+            next(gen)  # ... only here
+
 
 class TestInSearchPeel:
     def test_forced_peel_agrees(self, monkeypatch):

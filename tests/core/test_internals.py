@@ -149,3 +149,66 @@ class TestSweepSplit:
                 _, _, removed = _sweep_split(work, comp, 3, 0.5)
                 total_removed += removed
         assert work.num_edges == before - total_removed
+
+
+class TestInsearchPruneDuplicateProbabilities:
+    """Pin the bisect-removal invariant of the legacy in-search peel.
+
+    When a peeled neighbor's probability is duplicated in a node's sorted
+    incident-value list, ``_insearch_topk_prune`` removes *some* equal
+    entry by bisect — sound only because equal floats are interchangeable
+    in a product.  The compiled kernel peel never faces the ambiguity (it
+    indexes by node id), so both must land on the same fixpoint.
+    """
+
+    @staticmethod
+    def _duplicate_graph():
+        from repro import UncertainGraph
+
+        # v carries duplicate 0.5 edges to a (peeled: its only edge) and
+        # to b (a core member).  Peeling a forces a bisect removal of one
+        # of v's duplicated 0.5 values; v must survive on the other one:
+        # top-2 = 0.5 * 0.8 = 0.4 >= tau_floor(0.4).
+        graph = UncertainGraph()
+        for u, v in (("t1", "t2"), ("t1", "t3"), ("t2", "t3")):
+            graph.add_edge(u, v, 0.8)
+        graph.add_edge("b", "t1", 0.8)
+        graph.add_edge("b", "t2", 0.8)
+        graph.add_edge("v", "t1", 0.8)
+        graph.add_edge("v", "b", 0.5)
+        graph.add_edge("v", "a", 0.5)
+        return graph
+
+    def test_duplicate_value_removal_keeps_survivor(self):
+        graph = self._duplicate_graph()
+        candidates = [(u, 1.0) for u in sorted(graph.nodes(), key=str)]
+        result = _insearch_topk_prune(
+            graph, [], candidates, 2, 0.4 * (1 - FLOAT_EPS), 3
+        )
+        assert result is not None
+        kept = {u for u, _ in result}
+        assert kept == {"t1", "t2", "t3", "b", "v"}
+
+    def test_fixpoint_matches_compiled_peel(self):
+        from repro.core.kernel import compile_component
+        from repro.core.topk_core import topk_peel_masks
+        from repro.utils.validation import threshold_floor
+
+        graph = self._duplicate_graph()
+        candidates = [(u, 1.0) for u in sorted(graph.nodes(), key=str)]
+        for tau in (0.2, 0.4, 0.41, 0.6):
+            floor = threshold_floor(tau)
+            legacy = _insearch_topk_prune(graph, [], candidates, 2, floor, 3)
+            legacy_kept = (
+                None if legacy is None else {u for u, _ in legacy}
+            )
+            comp = compile_component(graph)
+            alive = topk_peel_masks(comp, comp.full_mask, 0, 2, floor)
+            assert alive is not None
+            kernel_kept = set(comp.decompile(alive))
+            if kernel_kept and len(kernel_kept) >= 3:
+                assert legacy_kept == kernel_kept
+            else:
+                # Fewer than min_size survivors: legacy reports a dead
+                # branch instead of a set.
+                assert legacy_kept is None

@@ -1,0 +1,161 @@
+"""Property-based parity: engine="bitset" must be indistinguishable from
+engine="legacy".
+
+The compiled kernel (:mod:`repro.core.kernel`) promises *bit-identical*
+behavior, not just equal answers: the same cliques in the same yield
+order, the same statistics counters, and the same maximum cliques.  These
+properties hold because every float that influences a decision is
+produced by the same multiplication sequence in both engines — so the
+tests compare exact equality, never approximate.
+
+The generated graphs deliberately stress the known hazards:
+
+* duplicate edge probabilities (the legacy in-search peel removes sorted
+  values by bisect; the kernel indexes by node id — interchangeable only
+  because equal floats multiply identically);
+* non-integer node labels mixed with integers (the deterministic node
+  order sorts by type name first, so mixed labels exercise the compile
+  step's ordering);
+* thresholds around knife-edge products (tau values from tiny to large
+  against a small probability palette).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import asdict
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.core.enumeration as enumeration_mod
+from repro import UncertainGraph
+from repro.core.enumeration import EnumerationStats, maximal_cliques
+from repro.core.maximum import MaximumSearchStats, max_uc_plus
+
+# A small palette forces many duplicate probabilities in one graph.
+PROBABILITY_PALETTE = (0.25, 0.4, 0.4, 0.5, 0.7, 0.7, 0.9, 1.0)
+TAUS = (0.01, 0.1, 0.3, 0.6)
+
+
+def _labels(n: int, mixed: bool) -> list[object]:
+    if not mixed:
+        return list(range(n))
+    # Half ints, half strings: exercises the (type name, str) node order.
+    return [i if i % 2 == 0 else f"n{i}" for i in range(n)]
+
+
+@st.composite
+def uncertain_graphs(draw: st.DrawFn) -> UncertainGraph:
+    n = draw(st.integers(min_value=0, max_value=12))
+    mixed = draw(st.booleans())
+    nodes = _labels(n, mixed)
+    graph = UncertainGraph(nodes=nodes)
+    for u, v in itertools.combinations(nodes, 2):
+        if draw(st.booleans()):
+            probability = draw(st.sampled_from(PROBABILITY_PALETTE))
+            graph.add_edge(u, v, probability)
+    return graph
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    graph=uncertain_graphs(),
+    k=st.integers(min_value=0, max_value=4),
+    tau=st.sampled_from(TAUS),
+    insearch=st.booleans(),
+    cut=st.booleans(),
+)
+def test_enumeration_engines_identical(
+    graph: UncertainGraph, k: int, tau: float, insearch: bool, cut: bool
+) -> None:
+    stats = {}
+    cliques = {}
+    for engine in ("legacy", "bitset"):
+        engine_stats = EnumerationStats()
+        cliques[engine] = list(
+            maximal_cliques(
+                graph, k, tau, cut=cut, insearch=insearch,
+                stats=engine_stats, engine=engine,  # type: ignore[arg-type]
+            )
+        )
+        stats[engine] = asdict(engine_stats)
+    # Same cliques in the same order, and the same counters.
+    assert cliques["bitset"] == cliques["legacy"]
+    assert stats["bitset"] == stats["legacy"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    graph=uncertain_graphs(),
+    k=st.integers(min_value=0, max_value=4),
+    tau=st.sampled_from(TAUS),
+)
+def test_enumeration_identical_with_forced_insearch_gate(
+    graph: UncertainGraph, k: int, tau: float
+) -> None:
+    # Gate at zero: the in-search peel runs at every search call, so the
+    # kernel's mask peel and legacy's sorted-list peel are compared on
+    # every recursion level, duplicates included.
+    original = enumeration_mod._INSEARCH_MIN_CANDIDATES
+    enumeration_mod._INSEARCH_MIN_CANDIDATES = 0
+    try:
+        results = {}
+        stats = {}
+        for engine in ("legacy", "bitset"):
+            engine_stats = EnumerationStats()
+            results[engine] = list(
+                maximal_cliques(
+                    graph, k, tau, stats=engine_stats,
+                    engine=engine,  # type: ignore[arg-type]
+                )
+            )
+            stats[engine] = asdict(engine_stats)
+    finally:
+        enumeration_mod._INSEARCH_MIN_CANDIDATES = original
+    assert results["bitset"] == results["legacy"]
+    assert stats["bitset"] == stats["legacy"]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    graph=uncertain_graphs(),
+    k=st.integers(min_value=0, max_value=4),
+    tau=st.sampled_from(TAUS),
+    insearch=st.booleans(),
+)
+def test_maximum_engines_identical(
+    graph: UncertainGraph, k: int, tau: float, insearch: bool
+) -> None:
+    results = {}
+    stats = {}
+    for engine in ("legacy", "bitset"):
+        engine_stats = MaximumSearchStats()
+        results[engine] = max_uc_plus(
+            graph, k, tau, stats=engine_stats, insearch=insearch,
+            engine=engine,  # type: ignore[arg-type]
+        )
+        stats[engine] = asdict(engine_stats)
+    assert results["bitset"] == results["legacy"]
+    assert stats["bitset"] == stats["legacy"]
+
+
+@pytest.mark.parametrize("engine", ["legacy", "bitset"])
+def test_duplicate_probability_peel_is_engine_independent(
+    engine: str,
+) -> None:
+    # Every edge shares one probability value: any bisect-by-value
+    # removal in the legacy peel hits an arbitrary duplicate, which must
+    # not matter.  Star spokes die under the (Top_2, tau)-core, the
+    # triangle survives.
+    graph = UncertainGraph()
+    for spoke in ("s1", "s2", "s3"):
+        graph.add_edge("hub", spoke, 0.6)
+    graph.add_edge("hub", "t1", 0.6)
+    for u, v in itertools.combinations(("t1", "t2", "t3"), 2):
+        graph.add_edge(u, v, 0.6)
+    cliques = sorted(
+        maximal_cliques(graph, 2, 0.2, engine=engine),  # type: ignore[arg-type]
+        key=sorted,
+    )
+    assert cliques == [frozenset({"t1", "t2", "t3"})]
