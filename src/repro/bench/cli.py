@@ -7,9 +7,16 @@ median of 5 interleaved repetitions per config, for both the enumeration
 
 ``--quick`` shrinks the dataset and repetition count to a CI-smoke-sized
 run (~tens of seconds).  ``--check`` turns the run into a gate: exit
-status 1 when any config's outputs differ between engines, or when the
-bitset engine's median is slower than legacy's beyond ``--tolerance``
-(a noise allowance — CI runners are shared machines).
+status 1 when any config's outputs differ between arms — engines *or*
+worker counts — or when the bitset engine's median is slower than
+legacy's beyond ``--tolerance`` (a noise allowance — CI runners are
+shared machines).
+
+``--jobs`` is the scaling axis: a comma-separated list of worker counts
+(full runs default to ``1,2,4``) adds a ``bitset-jN`` arm per count > 1,
+and the per-config ``jobs_speedup`` scaling curve lands in the report.
+``--verbose`` prints the per-phase wall-clock breakdown (prune / cut /
+compile / search) recorded by the stats timings.
 """
 
 from __future__ import annotations
@@ -34,6 +41,24 @@ MAX_CONFIGS = [(4, 0.2), (6, 0.1)]
 QUICK_SCALE = 0.3
 QUICK_REPS = 3
 FULL_REPS = 5
+
+#: Scaling axis defaults: full runs record the jobs=1/2/4 curve the
+#: checked-in reports carry; quick (CI smoke) runs stay sequential
+#: unless --jobs asks otherwise.
+FULL_JOBS = [1, 2, 4]
+QUICK_JOBS = [1]
+
+
+def _parse_jobs(spec: str) -> list[int]:
+    try:
+        jobs = [int(part) for part in spec.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(
+            f"--jobs expects a comma-separated list of integers, got {spec!r}"
+        ) from None
+    if not jobs or any(j < 1 for j in jobs):
+        raise SystemExit(f"--jobs entries must be >= 1, got {spec!r}")
+    return jobs
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -75,38 +100,70 @@ def _build_parser() -> argparse.ArgumentParser:
         default=Path("benchmarks/perf"),
         help="directory for the BENCH_*.json reports",
     )
+    parser.add_argument(
+        "--jobs",
+        default="",
+        help=(
+            "comma-separated worker counts for the scaling axis "
+            "(default: 1,2,4 for full runs, 1 for --quick); counts > 1 "
+            "add bitset-jN arms via the process-parallel layer"
+        ),
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print the per-phase wall-clock breakdown for every arm",
+    )
     return parser
 
 
-def _print_report(report: BenchReport) -> None:
+def _print_report(report: BenchReport, verbose: bool) -> None:
+    cpu_count = report.provenance.get("cpu_count")
     print(
         f"[{report.benchmark}] {report.algorithm} on {report.dataset} "
-        f"(scale={report.scale}, median of {report.repetitions})"
+        f"(scale={report.scale}, median of {report.repetitions}, "
+        f"cpu_count={cpu_count})"
     )
     for config in report.configs:
         legacy = config.engines["legacy"].median_s
         bitset = config.engines["bitset"].median_s
         flag = "" if config.identical_output else "  OUTPUT MISMATCH"
+        scaling = "".join(
+            f" {name.removeprefix('bitset-')}={config.engines[name].median_s:.3f}s"
+            f"({ratio:.2f}x)"
+            for name, ratio in sorted(config.jobs_speedup.items())
+        )
         print(
             f"  k={config.k} tau={config.tau}: "
             f"legacy={legacy:.3f}s bitset={bitset:.3f}s "
-            f"speedup={config.speedup:.2f}x{flag}"
+            f"speedup={config.speedup:.2f}x{scaling}{flag}"
         )
+        if verbose:
+            for name, run in config.engines.items():
+                phases = " ".join(
+                    f"{phase}={seconds:.3f}s"
+                    for phase, seconds in sorted(run.phase_seconds.items())
+                )
+                print(f"    {name}: {phases or '(no phase timings)'}")
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     scale = QUICK_SCALE if args.quick else 1.0
     reps = args.reps or (QUICK_REPS if args.quick else FULL_REPS)
+    if args.jobs:
+        jobs = _parse_jobs(args.jobs)
+    else:
+        jobs = QUICK_JOBS if args.quick else FULL_JOBS
 
     reports = [
-        run_enumeration_bench(args.dataset, ENUM_CONFIGS, reps, scale),
-        run_maximum_bench(args.dataset, MAX_CONFIGS, reps, scale),
+        run_enumeration_bench(args.dataset, ENUM_CONFIGS, reps, scale, jobs),
+        run_maximum_bench(args.dataset, MAX_CONFIGS, reps, scale, jobs),
     ]
 
     failures: list[str] = []
     for report in reports:
-        _print_report(report)
+        _print_report(report, args.verbose)
         path = report.write(args.out)
         print(f"  wrote {path}")
         if not report.all_identical():

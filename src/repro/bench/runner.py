@@ -2,27 +2,50 @@
 
 Protocol
 --------
-Wall-clock comparisons between two in-process engines on a noisy machine
-need two defenses, both applied here:
+Wall-clock comparisons between in-process arms on a noisy machine need
+two defenses, both applied here:
 
-* **Interleaving** — each repetition runs *both* engines back to back
-  (legacy, then bitset) before the next repetition starts, so slow drift
-  in machine load lands on both sides rather than biasing whichever
-  engine happened to run last.
-* **Median of N** — the reported time per engine is the median over the
+* **Interleaving** — each repetition runs *every* arm back to back
+  (legacy, bitset, then each ``bitset-jN`` parallel arm) before the next
+  repetition starts, so slow drift in machine load lands on all sides
+  rather than biasing whichever arm happened to run last.
+* **Median of N** — the reported time per arm is the median over the
   repetitions, which throws away one-off spikes that a mean would absorb.
 
-Every run also re-verifies the engines' contract: identical results (for
+Every run also re-verifies the arms' contract: identical results (for
 enumeration, the same cliques in the same yield order) and identical
-statistics counters.  A benchmark whose sides disagree is reported with
-``identical_output: false`` and fails the ``--check`` gate — a speedup
-over wrong answers is not a speedup.
+statistics counters — across engines *and* across worker counts.  A
+benchmark whose arms disagree is reported with ``identical_output:
+false`` and fails the ``--check`` gate — a speedup over wrong answers is
+not a speedup.
+
+Scaling axis
+------------
+``jobs=(1, 2, 4)`` adds ``bitset-j2`` / ``bitset-j4`` arms running the
+process-parallel layer (:mod:`repro.core.parallel`); per-config
+``jobs_speedup`` records the sequential-bitset median over each parallel
+median, which is the scaling curve the checked-in reports carry.  The
+``REPRO_JOBS`` environment variable is cleared around every measurement
+(and restored after) so each arm runs exactly the worker count it
+claims.
+
+Provenance
+----------
+Every report embeds where its numbers came from — git commit, python
+version, platform, ``os.cpu_count()`` — so the perf trajectory across
+the checked-in ``BENCH_*.json`` files stays attributable: a scaling
+curve measured on a single-core container is expected to be flat, and
+the embedded ``cpu_count`` is what says so.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import platform
 import statistics
+import subprocess
+import sys
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -36,31 +59,70 @@ __all__ = [
     "EngineRun",
     "ConfigResult",
     "BenchReport",
+    "collect_provenance",
     "run_enumeration_bench",
     "run_maximum_bench",
 ]
 
 ENGINES: tuple[Engine, ...] = ("legacy", "bitset")
 
+#: Arm descriptor: display name, underlying engine, worker count.
+Arm = tuple[str, Engine, int]
+
 
 @dataclass
 class EngineRun:
-    """Timings and counters for one engine at one (k, tau) config."""
+    """Timings and counters for one arm at one (k, tau) config."""
 
     times_s: list[float] = field(default_factory=list)
     median_s: float = 0.0
     stats: dict[str, int] = field(default_factory=dict)
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
 class ConfigResult:
-    """One (k, tau) config measured on both engines."""
+    """One (k, tau) config measured on every arm."""
 
     k: int
     tau: float
     engines: dict[str, EngineRun]
     speedup: float
+    jobs_speedup: dict[str, float]
     identical_output: bool
+
+
+def collect_provenance() -> dict[str, object]:
+    """Metadata attributing a report to code + machine: git commit,
+    python version, platform string, and ``os.cpu_count()``."""
+    commit: str | None = None
+    try:
+        probe = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if probe.returncode == 0:
+            commit = probe.stdout.strip()
+            dirty = subprocess.run(
+                ["git", "status", "--porcelain"],
+                capture_output=True,
+                text=True,
+                timeout=10,
+            )
+            # A dirty worktree means the numbers came from code beyond
+            # the recorded commit — say so rather than misattribute.
+            if dirty.returncode == 0 and dirty.stdout.strip():
+                commit += "-dirty"
+    except (OSError, subprocess.SubprocessError):
+        commit = None
+    return {
+        "git_commit": commit,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
 
 
 @dataclass
@@ -73,6 +135,8 @@ class BenchReport:
     scale: float
     repetitions: int
     interleaved: bool
+    jobs: list[int]
+    provenance: dict[str, object]
     configs: list[ConfigResult]
 
     def to_json(self) -> str:
@@ -103,24 +167,45 @@ def _median(values: list[float]) -> float:
     return float(statistics.median(values))
 
 
+def _arms(jobs: list[int]) -> list[Arm]:
+    arms: list[Arm] = [("legacy", "legacy", 1), ("bitset", "bitset", 1)]
+    for j in jobs:
+        if j > 1:
+            arms.append((f"bitset-j{j}", "bitset", j))
+    return arms
+
+
+def _jobs_speedup(runs: dict[str, EngineRun]) -> dict[str, float]:
+    """Sequential-bitset median over each parallel arm's median — the
+    per-config scaling curve (> 1 means the parallel arm was faster)."""
+    base = runs["bitset"].median_s
+    return {
+        name: (base / run.median_s if run.median_s > 0.0 else 0.0)
+        for name, run in runs.items()
+        if name.startswith("bitset-j")
+    }
+
+
 def _enum_once(
-    graph: UncertainGraph, k: int, tau: float, engine: Engine
-) -> tuple[float, list[frozenset[Node]], dict[str, int]]:
+    graph: UncertainGraph, k: int, tau: float, engine: Engine, jobs: int
+) -> tuple[float, list[frozenset[Node]], dict[str, int], dict[str, float]]:
     stats = EnumerationStats()
     start = time.perf_counter()
-    cliques = list(muce_plus_plus(graph, k, tau, stats=stats, engine=engine))
+    cliques = list(
+        muce_plus_plus(graph, k, tau, stats=stats, engine=engine, jobs=jobs)
+    )
     elapsed = time.perf_counter() - start
-    return elapsed, cliques, dict(asdict(stats))
+    return elapsed, cliques, dict(asdict(stats)), dict(stats.timings.laps)
 
 
 def _max_once(
-    graph: UncertainGraph, k: int, tau: float, engine: Engine
-) -> tuple[float, frozenset[Node] | None, dict[str, int]]:
+    graph: UncertainGraph, k: int, tau: float, engine: Engine, jobs: int
+) -> tuple[float, frozenset[Node] | None, dict[str, int], dict[str, float]]:
     stats = MaximumSearchStats()
     start = time.perf_counter()
-    best = max_uc_plus(graph, k, tau, stats=stats, engine=engine)
+    best = max_uc_plus(graph, k, tau, stats=stats, engine=engine, jobs=jobs)
     elapsed = time.perf_counter() - start
-    return elapsed, best, dict(asdict(stats))
+    return elapsed, best, dict(asdict(stats)), dict(stats.timings.laps)
 
 
 def run_enumeration_bench(
@@ -128,38 +213,51 @@ def run_enumeration_bench(
     configs: list[tuple[int, float]],
     repetitions: int,
     scale: float = 1.0,
+    jobs: list[int] | None = None,
 ) -> BenchReport:
-    """Benchmark ``muce_plus_plus`` bitset vs legacy on ``dataset``."""
+    """Benchmark ``muce_plus_plus`` across engines and worker counts."""
+    jobs = jobs if jobs is not None else [1]
+    arms = _arms(jobs)
     graph = load_dataset(dataset, scale=scale)
     results: list[ConfigResult] = []
-    for k, tau in configs:
-        runs: dict[str, EngineRun] = {e: EngineRun() for e in ENGINES}
-        outputs: dict[str, list[frozenset[Node]]] = {}
-        for _ in range(repetitions):
-            for engine in ENGINES:
-                elapsed, cliques, stats = _enum_once(graph, k, tau, engine)
-                runs[engine].times_s.append(elapsed)
-                runs[engine].stats = stats
-                outputs[engine] = cliques
-        for run in runs.values():
-            run.median_s = _median(run.times_s)
-        legacy, bitset = runs["legacy"], runs["bitset"]
-        results.append(
-            ConfigResult(
-                k=k,
-                tau=tau,
-                engines=runs,
-                speedup=(
-                    legacy.median_s / bitset.median_s
-                    if bitset.median_s > 0.0
-                    else 0.0
-                ),
-                identical_output=(
-                    outputs["legacy"] == outputs["bitset"]
-                    and legacy.stats == bitset.stats
-                ),
+    env_jobs = os.environ.pop("REPRO_JOBS", None)
+    try:
+        for k, tau in configs:
+            runs: dict[str, EngineRun] = {name: EngineRun() for name, _, _ in arms}
+            outputs: dict[str, list[frozenset[Node]]] = {}
+            for _ in range(repetitions):
+                for name, engine, n_jobs in arms:
+                    elapsed, cliques, stats, phases = _enum_once(
+                        graph, k, tau, engine, n_jobs
+                    )
+                    runs[name].times_s.append(elapsed)
+                    runs[name].stats = stats
+                    runs[name].phase_seconds = phases
+                    outputs[name] = cliques
+            for run in runs.values():
+                run.median_s = _median(run.times_s)
+            legacy, bitset = runs["legacy"], runs["bitset"]
+            results.append(
+                ConfigResult(
+                    k=k,
+                    tau=tau,
+                    engines=runs,
+                    speedup=(
+                        legacy.median_s / bitset.median_s
+                        if bitset.median_s > 0.0
+                        else 0.0
+                    ),
+                    jobs_speedup=_jobs_speedup(runs),
+                    identical_output=all(
+                        outputs[name] == outputs["legacy"]
+                        and runs[name].stats == legacy.stats
+                        for name, _, _ in arms
+                    ),
+                )
             )
-        )
+    finally:
+        if env_jobs is not None:
+            os.environ["REPRO_JOBS"] = env_jobs
     return BenchReport(
         benchmark="enumeration",
         algorithm="muce_plus_plus",
@@ -167,6 +265,8 @@ def run_enumeration_bench(
         scale=scale,
         repetitions=repetitions,
         interleaved=True,
+        jobs=jobs,
+        provenance=collect_provenance(),
         configs=results,
     )
 
@@ -176,38 +276,51 @@ def run_maximum_bench(
     configs: list[tuple[int, float]],
     repetitions: int,
     scale: float = 1.0,
+    jobs: list[int] | None = None,
 ) -> BenchReport:
-    """Benchmark ``max_uc_plus`` bitset vs legacy on ``dataset``."""
+    """Benchmark ``max_uc_plus`` across engines and worker counts."""
+    jobs = jobs if jobs is not None else [1]
+    arms = _arms(jobs)
     graph = load_dataset(dataset, scale=scale)
     results: list[ConfigResult] = []
-    for k, tau in configs:
-        runs: dict[str, EngineRun] = {e: EngineRun() for e in ENGINES}
-        outputs: dict[str, frozenset[Node] | None] = {}
-        for _ in range(repetitions):
-            for engine in ENGINES:
-                elapsed, best, stats = _max_once(graph, k, tau, engine)
-                runs[engine].times_s.append(elapsed)
-                runs[engine].stats = stats
-                outputs[engine] = best
-        for run in runs.values():
-            run.median_s = _median(run.times_s)
-        legacy, bitset = runs["legacy"], runs["bitset"]
-        results.append(
-            ConfigResult(
-                k=k,
-                tau=tau,
-                engines=runs,
-                speedup=(
-                    legacy.median_s / bitset.median_s
-                    if bitset.median_s > 0.0
-                    else 0.0
-                ),
-                identical_output=(
-                    outputs["legacy"] == outputs["bitset"]
-                    and legacy.stats == bitset.stats
-                ),
+    env_jobs = os.environ.pop("REPRO_JOBS", None)
+    try:
+        for k, tau in configs:
+            runs = {name: EngineRun() for name, _, _ in arms}
+            outputs: dict[str, frozenset[Node] | None] = {}
+            for _ in range(repetitions):
+                for name, engine, n_jobs in arms:
+                    elapsed, best, stats, phases = _max_once(
+                        graph, k, tau, engine, n_jobs
+                    )
+                    runs[name].times_s.append(elapsed)
+                    runs[name].stats = stats
+                    runs[name].phase_seconds = phases
+                    outputs[name] = best
+            for run in runs.values():
+                run.median_s = _median(run.times_s)
+            legacy, bitset = runs["legacy"], runs["bitset"]
+            results.append(
+                ConfigResult(
+                    k=k,
+                    tau=tau,
+                    engines=runs,
+                    speedup=(
+                        legacy.median_s / bitset.median_s
+                        if bitset.median_s > 0.0
+                        else 0.0
+                    ),
+                    jobs_speedup=_jobs_speedup(runs),
+                    identical_output=all(
+                        outputs[name] == outputs["legacy"]
+                        and runs[name].stats == legacy.stats
+                        for name, _, _ in arms
+                    ),
+                )
             )
-        )
+    finally:
+        if env_jobs is not None:
+            os.environ["REPRO_JOBS"] = env_jobs
     return BenchReport(
         benchmark="maximum",
         algorithm="max_uc_plus",
@@ -215,5 +328,7 @@ def run_maximum_bench(
         scale=scale,
         repetitions=repetitions,
         interleaved=True,
+        jobs=jobs,
+        provenance=collect_provenance(),
         configs=results,
     )

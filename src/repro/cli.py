@@ -148,6 +148,15 @@ def _build_parser(runners: dict[str, Runner]) -> argparse.ArgumentParser:
         help="skip slow baseline algorithms (MUCE, MaxUC, MaxRDS)",
     )
     parser.add_argument(
+        "--jobs",
+        default=None,
+        help=(
+            "worker processes for the search phase (an integer, or "
+            "'auto' for all cores); sets REPRO_JOBS so every search in "
+            "the run inherits it"
+        ),
+    )
+    parser.add_argument(
         "--out",
         type=str,
         default=None,
@@ -190,6 +199,15 @@ def main(argv: list[str] | None = None) -> int:
     runners = _runners()
     parser = _build_parser(runners)
     opts = parser.parse_args(argv)
+
+    if opts.jobs is not None:
+        # The experiment runners call the search drivers with their
+        # default jobs=1, which defers to REPRO_JOBS — exporting it here
+        # parallelizes every search in the run without threading a
+        # parameter through each harness function.
+        import os
+
+        os.environ["REPRO_JOBS"] = str(opts.jobs)
 
     if opts.experiment == "list":
         for name in runners:

@@ -34,7 +34,7 @@ extend any future (k, tau)-clique of that subtree either.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Iterator, Literal
 
 from repro.core.cut_pruning import cut_optimize
@@ -47,6 +47,7 @@ from repro.core.ktau_core import dp_core_plus
 from repro.core.topk_core import topk_core, topk_core_arrays
 from repro.deterministic.components import component_subgraphs
 from repro.uncertain.graph import Node, UncertainGraph
+from repro.utils.timing import Stopwatch
 from repro.utils.validation import threshold_floor, validate_k, validate_tau
 
 __all__ = [
@@ -68,7 +69,15 @@ Engine = Literal["bitset", "legacy"]
 
 @dataclass
 class EnumerationStats:
-    """Counters exposed for the experiment harness (Figs. 3 and 4)."""
+    """Counters exposed for the experiment harness (Figs. 3 and 4).
+
+    ``timings`` rides along as a *non-field* attribute (attached in
+    ``__post_init__``) holding per-phase wall-clock seconds — prune /
+    cut / compile / search.  Keeping it out of the dataclass fields is
+    deliberate: wall clocks are nondeterministic, and both the parity
+    suite and the bench ``identical_output`` check compare stats via
+    ``==`` / ``asdict``, which must see the deterministic counters only.
+    """
 
     nodes_after_pruning: int = 0
     components: int = 0
@@ -78,6 +87,23 @@ class EnumerationStats:
     insearch_prunes: int = 0
     branch_size_prunes: int = 0
     cliques: int = 0
+
+    def __post_init__(self) -> None:
+        self.timings: Stopwatch = Stopwatch()
+
+    def merge(self, other: "EnumerationStats") -> None:
+        """Accumulate ``other`` into ``self``: every counter sums, phase
+        timings sum lap-wise.
+
+        This is the aggregation the process-parallel layer uses to fold
+        per-task counters back into the caller's stats object (so
+        ``jobs=N`` totals equal ``jobs=1``), and what the experiment
+        harness uses to aggregate counters across runs.
+        """
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        for name, seconds in other.timings.laps.items():
+            self.timings.add(name, seconds)
 
 
 #: Single source of the node order lives in the kernel's compile step;
@@ -104,6 +130,7 @@ def maximal_cliques(
     insearch: bool = True,
     stats: EnumerationStats | None = None,
     engine: Engine = "bitset",
+    jobs: int | None = 1,
 ) -> Iterator[frozenset[Node]]:
     """Enumerate all maximal (k, tau)-cliques of ``graph``.
 
@@ -124,6 +151,16 @@ def maximal_cliques(
         bitmask adjacency before searching (:mod:`repro.core.kernel`);
         ``"legacy"`` keeps the original dict-of-dicts recursion.  Both
         yield identical cliques in identical order with identical stats.
+    jobs:
+        worker processes for the search phase.  ``1`` (default) searches
+        in-process; ``None`` uses ``os.cpu_count()``; the ``REPRO_JOBS``
+        environment variable overrides the default (see
+        :func:`repro.core.parallel.resolve_jobs`).  Results are merged
+        deterministically, so any ``jobs`` value yields bit-identical
+        cliques, order, and stats counters.  Only the bitset engine
+        parallelizes; ``engine="legacy"`` ignores ``jobs`` and stays
+        sequential (the legacy recursion is interleaved with consumers
+        and cannot be shipped to workers).
 
     Yields each maximal clique exactly once as a frozenset of nodes.
 
@@ -140,33 +177,51 @@ def maximal_cliques(
     stats = stats if stats is not None else EnumerationStats()
     min_size = k + 1
 
-    if pruning == "topk":
-        # Same fixpoint either way; the bitset engine uses the compiled
-        # array peel so large graphs skip the per-edge hashing/bisects.
-        if engine == "bitset":
-            survivors = set(topk_core_arrays(graph, k, tau))
+    with stats.timings.lap("prune"):
+        if pruning == "topk":
+            # Same fixpoint either way; the bitset engine uses the
+            # compiled array peel so large graphs skip the per-edge
+            # hashing/bisects.
+            if engine == "bitset":
+                survivors = set(topk_core_arrays(graph, k, tau))
+            else:
+                survivors = set(topk_core(graph, k, tau).nodes)
+        elif pruning == "ktau":
+            survivors = dp_core_plus(graph, k, tau)
         else:
-            survivors = set(topk_core(graph, k, tau).nodes)
-    elif pruning == "ktau":
-        survivors = dp_core_plus(graph, k, tau)
-    else:
-        survivors = set(graph.nodes())
-    stats.nodes_after_pruning = len(survivors)
-    pruned = graph.induced_subgraph(survivors)
+            survivors = set(graph.nodes())
+        stats.nodes_after_pruning = len(survivors)
+        pruned = graph.induced_subgraph(survivors)
 
-    if cut:
-        result = cut_optimize(pruned, k, tau)
-        components = result.components
-        stats.cuts_found = result.cuts_found
-        stats.cut_edges_removed = result.edges_removed
-    else:
-        components = component_subgraphs(pruned)
+    with stats.timings.lap("cut"):
+        if cut:
+            result = cut_optimize(pruned, k, tau)
+            components = result.components
+            stats.cuts_found = result.cuts_found
+            stats.cut_edges_removed = result.edges_removed
+        else:
+            components = component_subgraphs(pruned)
     stats.components = len(components)
 
     # All threshold checks in the hot search loop use the pre-computed
     # tolerant floor (see repro.utils.validation) instead of calling
     # prob_at_least per edge.
     tau_floor = threshold_floor(tau)
+
+    if engine == "bitset":
+        # Imported lazily: repro.core.parallel imports this module for
+        # the stats types, so a top-level import would be a cycle.
+        from repro.core.parallel import enumerate_parallel, resolve_jobs
+
+        n_jobs = resolve_jobs(jobs)
+        if n_jobs > 1:
+            yield from enumerate_parallel(
+                components, k, tau_floor, min_size, insearch,
+                _INSEARCH_MIN_CANDIDATES, KERNEL_COMPONENT_LIMIT, n_jobs,
+                stats,
+            )
+            return
+
     for component in components:
         if component.num_nodes < min_size:
             continue
@@ -365,12 +420,13 @@ def muce(
     tau: float,
     stats: EnumerationStats | None = None,
     engine: Engine = "bitset",
+    jobs: int | None = 1,
 ) -> Iterator[frozenset[Node]]:
     """The Mukherjee et al. [18], [19] baseline: set-enumeration search with
     monotonicity and branch-size pruning but no core-based pruning."""
     return maximal_cliques(
         graph, k, tau, pruning="none", cut=False, insearch=False,
-        stats=stats, engine=engine,
+        stats=stats, engine=engine, jobs=jobs,
     )
 
 
@@ -380,11 +436,12 @@ def muce_plus(
     tau: float,
     stats: EnumerationStats | None = None,
     engine: Engine = "bitset",
+    jobs: int | None = 1,
 ) -> Iterator[frozenset[Node]]:
     """Algorithm 4 with the (k, tau)-core pruning rule (``MUCE+``)."""
     return maximal_cliques(
         graph, k, tau, pruning="ktau", cut=True, insearch=True, stats=stats,
-        engine=engine,
+        engine=engine, jobs=jobs,
     )
 
 
@@ -394,9 +451,10 @@ def muce_plus_plus(
     tau: float,
     stats: EnumerationStats | None = None,
     engine: Engine = "bitset",
+    jobs: int | None = 1,
 ) -> Iterator[frozenset[Node]]:
     """Algorithm 4 with the (Top_k, tau)-core pruning rule (``MUCE++``)."""
     return maximal_cliques(
         graph, k, tau, pruning="topk", cut=True, insearch=True, stats=stats,
-        engine=engine,
+        engine=engine, jobs=jobs,
     )

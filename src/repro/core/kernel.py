@@ -60,6 +60,7 @@ compiled twin in :func:`repro.core.topk_core.topk_core_arrays`.
 from __future__ import annotations
 
 from array import array
+from time import perf_counter
 from typing import TYPE_CHECKING, Iterator
 
 from repro.core.topk_core import topk_peel_masks
@@ -76,7 +77,10 @@ __all__ = [
     "node_sort_key",
     "iter_bits",
     "enumerate_component",
+    "enum_root_prep",
+    "enumerate_root_range",
     "maximum_component",
+    "maximum_compiled",
     "KERNEL_COMPONENT_LIMIT",
 ]
 
@@ -121,6 +125,15 @@ class CompiledComponent:
     ``bits[i]`` caches ``1 << i`` (big-int shifts are not free), and
     ``rows`` holds the dense probability rows for small components
     (``None`` above :data:`_DENSE_ROW_LIMIT`).
+
+    Compiled components are **picklable** — the process-parallel layer
+    (:mod:`repro.core.parallel`) ships them to worker processes instead of
+    graph objects.  Only the canonical state crosses the pipe: the node
+    labels and the CSR arrays (compact ``array`` buffers).  Every derived
+    form — bitmask rows, dense probability rows, int-keyed dicts, cached
+    bit singletons — is rebuilt on unpickle, which is faster than
+    serialising an O(n^2) float matrix and keeps the payload near the
+    information-theoretic minimum.
     """
 
     __slots__ = (
@@ -182,6 +195,49 @@ class CompiledComponent:
         self.nbr_probs = nbr_probs
         self.full_mask = (1 << n) - 1 if n else 0
 
+    def __getstate__(self) -> tuple[
+        list[Node], array[int], array[int], array[float]
+    ]:
+        # Labels + CSR only; all derived forms are rebuilt in __setstate__.
+        return (self.nodes, self.row_offsets, self.nbr_ids, self.nbr_probs)
+
+    def __setstate__(
+        self,
+        state: tuple[list[Node], array[int], array[int], array[float]],
+    ) -> None:
+        order, row_offsets, nbr_ids, nbr_probs = state
+        n = len(order)
+        bits = [1 << i for i in range(n)]
+        adj: list[int] = []
+        prob: list[dict[int, float]] = []
+        dense = n <= _DENSE_ROW_LIMIT
+        rows: list[list[float]] | None = [] if dense else None
+        for u in range(n):
+            row: dict[int, float] = {}
+            mask = 0
+            for i in range(row_offsets[u], row_offsets[u + 1]):
+                j = nbr_ids[i]
+                row[j] = nbr_probs[i]
+                mask |= bits[j]
+            adj.append(mask)
+            prob.append(row)
+            if rows is not None:
+                flat = [0.0] * n
+                for j, p in row.items():
+                    flat[j] = p
+                rows.append(flat)
+        self.nodes = order
+        self.index = {u: i for i, u in enumerate(order)}
+        self.n = n
+        self.adj = adj
+        self.prob = prob
+        self.rows = rows
+        self.bits = bits
+        self.row_offsets = row_offsets
+        self.nbr_ids = nbr_ids
+        self.nbr_probs = nbr_probs
+        self.full_mask = (1 << n) - 1 if n else 0
+
     def decompile(self, mask: int) -> frozenset[Node]:
         """Original labels of the nodes whose bits are set in ``mask``."""
         nodes = self.nodes
@@ -228,14 +284,14 @@ def enumerate_component(
     Mirrors ``enumeration._muc`` branch for branch: identical recursion
     tree, identical floats, identical counter totals, identical clique
     order — only the data representation differs (see the module
-    docstring for the virtual-``X`` argument).  The recursion is a plain
-    closure appending into a result list (a recursive *generator* pays one
-    generator object plus a StopIteration per search call, which dominates
-    on prune-heavy workloads), with the shared state — compiled arrays,
-    parameters, batched counters — held in cells rather than passed
-    through every call; the driver stays a generator, so consumers still
-    iterate lazily component by component.
+    docstring for the virtual-``X`` argument).  Thin composition of
+    :func:`enum_root_prep` (the root call's gate and bookkeeping) and
+    :func:`enumerate_root_range` over the full root range — the same two
+    pieces the process-parallel layer drives with partial ranges; the
+    driver stays a generator, so consumers still iterate lazily component
+    by component.
     """
+    t_start = perf_counter()
     comp = compile_component(component)
     n = comp.n
     if n == 0:
@@ -245,12 +301,94 @@ def enumerate_component(
             "enumerate_component requires a component within "
             f"KERNEL_COMPONENT_LIMIT ({KERNEL_COMPONENT_LIMIT}), got {n}"
         )
-    adj = comp.adj
+    t_compiled = perf_counter()
+    stats.timings.add("compile", t_compiled - t_start)
+    cands = enum_root_prep(
+        comp, k, tau_floor, min_size, insearch, insearch_min_candidates,
+        stats,
+    )
+    out: list[frozenset[Node]] = []
+    if cands is not None:
+        out = enumerate_root_range(
+            comp, k, tau_floor, min_size, insearch,
+            insearch_min_candidates, cands, 0, len(cands), stats,
+        )
+    stats.timings.add("search", perf_counter() - t_compiled)
+    yield from out
+
+
+def enum_root_prep(
+    comp: CompiledComponent,
+    k: int,
+    tau_floor: float,
+    min_size: int,
+    insearch: bool,
+    insearch_min_candidates: int,
+    stats: EnumerationStats,
+) -> list[tuple[int, float]] | None:
+    """Root-call bookkeeping of the MUC recursion, factored out so the
+    parallel layer can split the surviving root candidates into ranges.
+
+    Performs exactly what the sequential root call does before its branch
+    loop: counts the root search call and applies the root in-search core
+    gate (Algorithm 4 lines 12-15 with ``R`` empty).  Returns the
+    surviving root candidate list, or ``None`` when the whole component is
+    dead (root insearch prune).  Concatenating
+    :func:`enumerate_root_range` over any partition of the result — stats
+    summed — reproduces the sequential search exactly.
+    """
+    n = comp.n
+    stats.search_calls += 1
+    cands = [(v, 1.0) for v in range(n)]
+    if n >= insearch_min_candidates and insearch and min_size > 0:
+        alive = topk_peel_masks(comp, comp.full_mask, 0, k, tau_floor)
+        if alive is None or alive.bit_count() < min_size:
+            stats.insearch_prunes += 1
+            return None
+        if alive != comp.full_mask:
+            stats.insearch_prunes += 1
+            cands = [e for e in cands if alive >> e[0] & 1]
+    return cands
+
+
+def enumerate_root_range(
+    comp: CompiledComponent,
+    k: int,
+    tau_floor: float,
+    min_size: int,
+    insearch: bool,
+    insearch_min_candidates: int,
+    cands: list[tuple[int, float]],
+    start: int,
+    stop: int,
+    stats: EnumerationStats,
+) -> list[frozenset[Node]]:
+    """Search the root branches ``cands[start:stop]`` of one component.
+
+    ``cands`` must be the full surviving root candidate list from
+    :func:`enum_root_prep`; each branch's candidate-filter tail is always
+    the suffix of the *whole* list, so a range owns its branch subtrees
+    but not the nodes after it.  The branches before ``start`` are
+    **silently replayed** — only their side effects on the root loop's
+    ``rem_mask`` and ``banned`` masks are reproduced (the same popcount
+    and threshold compares the sequential loop ran, minus recursion,
+    stats, and output) — so the live range starts from the exact
+    sequential state, and concatenating the outputs of a partition of
+    ``range(len(cands))`` in range order equals the sequential clique
+    order with the stats summing to the sequential totals.
+    """
+    n = comp.n
     rows = comp.rows
+    if rows is None:
+        raise ValueError(
+            "enumerate_root_range requires a component within "
+            f"KERNEL_COMPONENT_LIMIT ({KERNEL_COMPONENT_LIMIT}), got {n}"
+        )
+    adj = comp.adj
     bits = comp.bits
     nodes = comp.nodes
     out: list[frozenset[Node]] = []
-    # Batched stats, flushed once per component: attribute access on the
+    # Batched stats, flushed once per range: attribute access on the
     # stats object is too slow for a 10^5-calls recursion.
     calls = insearch_prunes = branch_prunes = cliques = 0
 
@@ -478,15 +616,91 @@ def enumerate_component(
                     out.append(frozenset(nodes[x] for x in clique))
             clique.pop()
 
-    muc(
-        [], 0, 1.0, [(v, 1.0) for v in range(n)], comp.full_mask,
-        comp.full_mask, 0,
-    )
+    if min_size <= 1:
+        # Deep root: every branch recurses straight into the lean loop
+        # (the shallow machinery never runs), and splitting it would mean
+        # a second copy of the inline leaf emulation for no benefit —
+        # min_size <= 1 only happens at k = 0, never on a perf-relevant
+        # workload — so only the whole range is accepted.
+        if start != 0 or stop != len(cands):
+            raise ValueError(
+                "deep-root search (min_size <= 1) cannot be range-split"
+            )
+        if cands:
+            deep_branches([], 1.0, cands, comp.full_mask, ~0)
+    else:
+        # The root branch loop of the sequential search, split at branch
+        # granularity.  Branches [0, start) are replayed silently;
+        # [start, stop) run live — the loop body is the shallow branch
+        # loop of ``muc`` with clique_prob = 1.0 folded away (IEEE
+        # 1.0 * x == x, so the floats are unchanged).
+        need = min_size - 1
+        child_shallow = need > 1
+        rem_mask = 0
+        for e in cands:
+            rem_mask |= bits[e[0]]
+        banned = 0
+        for idx in range(start):
+            u, pi_u = cands[idx]
+            bu = bits[u]
+            rem_mask ^= bu
+            if (rem_mask & adj[u]).bit_count() < need:
+                banned |= bu
+                continue
+            urow = rows[u]
+            survivors = 0
+            for v, pi_v in cands[idx + 1:]:
+                p = urow[v]
+                if p:
+                    piv = pi_v * p
+                    # Replayed verdict of the live filter below; survivor
+                    # counting can stop at ``need`` because the filter is
+                    # append-only.
+                    if pi_u * piv >= tau_floor:  # repro-lint: ignore[RPL001]
+                        survivors += 1
+                        if survivors >= need:
+                            break
+            if survivors < need:
+                banned |= bu
+        clique: list[int] = []
+        full = comp.full_mask
+        for idx in range(start, stop):
+            u, pi_u = cands[idx]
+            bu = bits[u]
+            rem_mask ^= bu
+            if (rem_mask & adj[u]).bit_count() < need:
+                branch_prunes += 1
+                banned |= bu
+                continue
+            new_prob = pi_u  # root clique_prob is exactly 1.0
+            urow = rows[u]
+            new_cands = []
+            for v, pi_v in cands[idx + 1:]:
+                p = urow[v]
+                if p:
+                    piv = pi_v * p
+                    # Hot path: precomputed threshold_floor.
+                    if new_prob * piv >= tau_floor:  # repro-lint: ignore[RPL001]
+                        new_cands.append((v, piv))
+            if len(new_cands) >= need:
+                new_mask = 0
+                if child_shallow:
+                    for e in new_cands:
+                        new_mask |= bits[e[0]]
+                clique.append(u)
+                muc(
+                    clique, 1, new_prob, new_cands, new_mask,
+                    full & adj[u], banned,
+                )
+                clique.pop()
+            else:
+                branch_prunes += 1
+                banned |= bu
     stats.search_calls += calls
     stats.insearch_prunes += insearch_prunes
     stats.branch_size_prunes += branch_prunes
     stats.cliques += cliques
-    yield from out
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -508,19 +722,51 @@ def maximum_component(
 
     Returns ``(best, best_size)`` where ``best`` is the improved clique
     as original labels (``None`` when the incumbent was not beaten).
-    Mirrors the closure in ``maximum.max_uc_plus`` exactly, including the
-    order in which the three color bounds and the in-search peel fire and
-    every float they produce (the bounds are the compiled twins of
-    :mod:`repro.core.bounds`).  There is no maximality test here, so the
-    candidate loop matches legacy's shape with dense rows and the bound
-    bookkeeping batched into local counters.
+    Thin composition of the compile + coloring step and
+    :func:`maximum_compiled`, split so the parallel layer can ship the
+    compiled component and the (plain-int) color list to workers without
+    the graph object.
     """
+    t_start = perf_counter()
     comp = compile_component(component)
     n = comp.n
     if n == 0:
         return None, best_size
     coloring = greedy_coloring(component)
     color = [coloring[u] for u in comp.nodes]
+    t_compiled = perf_counter()
+    stats.timings.add("compile", t_compiled - t_start)
+    result = maximum_compiled(
+        comp, color, k, tau_floor, min_size, best_size, use_advanced_one,
+        use_advanced_two, insearch, stats,
+    )
+    stats.timings.add("search", perf_counter() - t_compiled)
+    return result
+
+
+def maximum_compiled(
+    comp: CompiledComponent,
+    color: list[int],
+    k: int,
+    tau_floor: float,
+    min_size: int,
+    best_size: int,
+    use_advanced_one: bool,
+    use_advanced_two: bool,
+    insearch: bool,
+    stats: MaximumSearchStats,
+) -> tuple[list[Node] | None, int]:
+    """MaxUC+ search of one *already compiled* component.
+
+    ``color[i]`` is the greedy color of node id ``i``.  Mirrors the
+    closure in ``maximum.max_uc_plus`` exactly, including the order in
+    which the three color bounds and the in-search peel fire and every
+    float they produce (the bounds are the compiled twins of
+    :mod:`repro.core.bounds`).  There is no maximality test here, so the
+    candidate loop matches legacy's shape with dense rows and the bound
+    bookkeeping batched into local counters.
+    """
+    n = comp.n
     adj = comp.adj
     prob = comp.prob
     rows = comp.rows

@@ -22,7 +22,7 @@ nodes, so searches start from an incumbent size of ``k``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import AbstractSet, Literal
 
 from repro.core.bounds import (
@@ -35,6 +35,7 @@ from repro.core.kernel import maximum_component, node_sort_key
 from repro.core.topk_core import topk_core, topk_core_arrays
 from repro.deterministic.coloring import greedy_coloring
 from repro.uncertain.graph import Node, UncertainGraph
+from repro.utils.timing import Stopwatch
 from repro.utils.validation import (
     prob_at_least,
     threshold_floor,
@@ -53,7 +54,13 @@ __all__ = [
 
 @dataclass
 class MaximumSearchStats:
-    """Counters exposed for the experiment harness (Fig. 5)."""
+    """Counters exposed for the experiment harness (Fig. 5).
+
+    ``timings`` rides along as a *non-field* attribute (attached in
+    ``__post_init__``) holding per-phase wall-clock seconds; keeping it
+    out of the fields keeps ``asdict``/``==`` over the deterministic
+    counters only (the parity suite and the bench check compare those).
+    """
 
     search_calls: int = 0
     size_bound_prunes: int = 0
@@ -62,6 +69,26 @@ class MaximumSearchStats:
     advanced_two_prunes: int = 0
     insearch_prunes: int = 0
     best_size: int = 0
+
+    def __post_init__(self) -> None:
+        self.timings: Stopwatch = Stopwatch()
+
+    def merge(self, other: "MaximumSearchStats") -> None:
+        """Accumulate ``other`` into ``self``: every prune/call counter
+        sums, ``best_size`` takes the max (it reports a result, not
+        work), and phase timings sum lap-wise.  Used by the parallel
+        layer to fold per-task counters back into the caller's stats and
+        by the experiment harness to aggregate across runs."""
+        for f in fields(self):
+            if f.name == "best_size":
+                self.best_size = max(self.best_size, other.best_size)
+            else:
+                setattr(
+                    self, f.name,
+                    getattr(self, f.name) + getattr(other, f.name),
+                )
+        for name, seconds in other.timings.laps.items():
+            self.timings.add(name, seconds)
 
 
 #: Single source of the node order lives in the kernel's compile step;
@@ -239,6 +266,7 @@ def max_uc_plus(
     use_advanced_two: bool = True,
     insearch: bool = True,
     engine: Engine = "bitset",
+    jobs: int | None = 1,
 ) -> frozenset[Node] | None:
     """Maximum (k, tau)-clique with core/cut pruning and color bounds.
 
@@ -247,6 +275,12 @@ def max_uc_plus(
     ``engine="bitset"`` (default) runs the per-component search on the
     compiled kernel of :mod:`repro.core.kernel`; ``"legacy"`` keeps the
     original closure — both return identical cliques and stats.
+    ``jobs`` fans the per-component searches over worker processes
+    (``1`` in-process, ``None`` = ``os.cpu_count()``, ``REPRO_JOBS``
+    overrides the default; bitset engine only — legacy stays sequential).
+    Any ``jobs`` value returns the identical clique with identical stats
+    counters; see :func:`repro.core.parallel.maximum_parallel` for how
+    the sequential incumbent chain is reproduced exactly.
     """
     validate_k(k)
     tau = validate_tau(tau)
@@ -256,17 +290,35 @@ def max_uc_plus(
     min_size = k + 1
     tau_floor = threshold_floor(tau)
 
-    # Same fixpoint either way; the bitset engine uses the compiled array
-    # peel so large graphs skip the per-edge hashing/bisects.
-    if engine == "bitset":
-        survivors: AbstractSet[Node] = topk_core_arrays(graph, k, tau)
-    else:
-        survivors = topk_core(graph, k, tau).nodes
-    pruned = graph.induced_subgraph(survivors)
-    components = cut_optimize(pruned, k, tau).components
+    with stats.timings.lap("prune"):
+        # Same fixpoint either way; the bitset engine uses the compiled
+        # array peel so large graphs skip the per-edge hashing/bisects.
+        if engine == "bitset":
+            survivors: AbstractSet[Node] = topk_core_arrays(graph, k, tau)
+        else:
+            survivors = topk_core(graph, k, tau).nodes
+        pruned = graph.induced_subgraph(survivors)
+    with stats.timings.lap("cut"):
+        components = cut_optimize(pruned, k, tau).components
 
     best: list[Node] | None = None
     best_size = k
+
+    if engine == "bitset":
+        # Imported lazily: repro.core.parallel imports this module for
+        # the stats types, so a top-level import would be a cycle.
+        from repro.core.parallel import maximum_parallel, resolve_jobs
+
+        n_jobs = resolve_jobs(jobs)
+        if n_jobs > 1:
+            best, best_size = maximum_parallel(
+                components, k, tau_floor, min_size, use_advanced_one,
+                use_advanced_two, insearch, n_jobs, stats,
+            )
+            stats.best_size = best_size if best is not None else 0
+            if best is None or len(best) < min_size:
+                return None
+            return frozenset(best)
 
     for component in components:
         if component.num_nodes <= best_size:

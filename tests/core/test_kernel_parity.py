@@ -140,6 +140,40 @@ def test_maximum_engines_identical(
     assert stats["bitset"] == stats["legacy"]
 
 
+def test_oversized_component_routes_to_legacy_fallback() -> None:
+    # The dispatch must route components above KERNEL_COMPONENT_LIMIT to
+    # the legacy recursion — and produce identical cliques and counters
+    # either way.  The limit is monkeypatched below the component size
+    # (mirroring the forced-gate pattern above) and the compiled entry
+    # point is replaced with a tripwire, so the test fails loudly if the
+    # dispatch ever stops falling back.
+    graph = UncertainGraph()
+    for u, v in itertools.combinations(range(6), 2):
+        graph.add_edge(u, v, 0.9)
+
+    baseline_stats = EnumerationStats()
+    baseline = list(maximal_cliques(graph, 2, 0.3, stats=baseline_stats))
+    assert baseline  # a K6 at tau=0.3 must produce output
+
+    def tripwire(*args: object, **kwargs: object) -> object:
+        raise AssertionError(
+            "compiled kernel called for an oversized component"
+        )
+
+    original_limit = enumeration_mod.KERNEL_COMPONENT_LIMIT
+    original_entry = enumeration_mod.enumerate_component
+    enumeration_mod.KERNEL_COMPONENT_LIMIT = 3
+    enumeration_mod.enumerate_component = tripwire  # type: ignore[assignment]
+    try:
+        fallback_stats = EnumerationStats()
+        fallback = list(maximal_cliques(graph, 2, 0.3, stats=fallback_stats))
+    finally:
+        enumeration_mod.KERNEL_COMPONENT_LIMIT = original_limit
+        enumeration_mod.enumerate_component = original_entry
+    assert fallback == baseline
+    assert asdict(fallback_stats) == asdict(baseline_stats)
+
+
 @pytest.mark.parametrize("engine", ["legacy", "bitset"])
 def test_duplicate_probability_peel_is_engine_independent(
     engine: str,

@@ -1,0 +1,102 @@
+"""Unit tests for the stats ``merge`` aggregation and phase timings.
+
+``merge`` is what the process-parallel layer uses to fold per-task
+counters back into the caller's stats object, and what the experiment
+harness uses to aggregate counters across runs — so its semantics
+(every counter sums; ``best_size`` takes the max; wall-clock laps sum
+lap-wise and never participate in equality) are pinned here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, fields
+
+from repro import UncertainGraph
+from repro.core.enumeration import EnumerationStats, muce_plus_plus
+from repro.core.maximum import MaximumSearchStats, max_uc_plus
+
+
+def test_enumeration_merge_sums_every_counter() -> None:
+    a = EnumerationStats(
+        nodes_after_pruning=10, components=2, cuts_found=1,
+        cut_edges_removed=3, search_calls=100, insearch_prunes=5,
+        branch_size_prunes=7, cliques=4,
+    )
+    b = EnumerationStats(
+        nodes_after_pruning=1, components=1, cuts_found=0,
+        cut_edges_removed=2, search_calls=50, insearch_prunes=1,
+        branch_size_prunes=2, cliques=3,
+    )
+    expected = {
+        f.name: getattr(a, f.name) + getattr(b, f.name)
+        for f in fields(EnumerationStats)
+    }
+    a.merge(b)
+    assert asdict(a) == expected
+    # The source of the merge is untouched.
+    assert b.search_calls == 50
+
+
+def test_maximum_merge_sums_counters_and_maxes_best_size() -> None:
+    a = MaximumSearchStats(search_calls=10, size_bound_prunes=2, best_size=5)
+    b = MaximumSearchStats(search_calls=3, basic_color_prunes=4, best_size=7)
+    a.merge(b)
+    assert a.search_calls == 13
+    assert a.size_bound_prunes == 2
+    assert a.basic_color_prunes == 4
+    assert a.best_size == 7  # max, not sum: it reports a result, not work
+    a.merge(MaximumSearchStats(best_size=1))
+    assert a.best_size == 7
+
+
+def test_merge_accumulates_timings_lap_wise() -> None:
+    a = EnumerationStats()
+    b = EnumerationStats()
+    a.timings.add("search", 1.0)
+    b.timings.add("search", 0.5)
+    b.timings.add("compile", 0.25)
+    a.merge(b)
+    assert a.timings.seconds("search") == 1.5
+    assert a.timings.seconds("compile") == 0.25
+
+
+def test_timings_are_not_part_of_equality_or_asdict() -> None:
+    # The parity suite and the bench identical_output check compare stats
+    # via == / asdict; nondeterministic wall clocks must stay invisible.
+    a = EnumerationStats(search_calls=1)
+    b = EnumerationStats(search_calls=1)
+    a.timings.add("search", 123.0)
+    assert a == b
+    assert "timings" not in asdict(a)
+    m1 = MaximumSearchStats()
+    m2 = MaximumSearchStats()
+    m1.timings.add("compile", 9.0)
+    assert m1 == m2
+    assert "timings" not in asdict(m1)
+
+
+def _triangle_graph() -> UncertainGraph:
+    graph = UncertainGraph()
+    graph.add_edge("a", "b", 0.9)
+    graph.add_edge("b", "c", 0.9)
+    graph.add_edge("a", "c", 0.9)
+    graph.add_edge("c", "d", 0.8)
+    graph.add_edge("d", "e", 0.8)
+    graph.add_edge("c", "e", 0.8)
+    return graph
+
+
+def test_enumeration_records_phase_timings() -> None:
+    stats = EnumerationStats()
+    list(muce_plus_plus(_triangle_graph(), 2, 0.5, stats=stats))
+    for phase in ("prune", "cut", "compile", "search"):
+        assert phase in stats.timings.laps, phase
+        assert stats.timings.seconds(phase) >= 0.0
+
+
+def test_maximum_records_phase_timings() -> None:
+    stats = MaximumSearchStats()
+    max_uc_plus(_triangle_graph(), 2, 0.5, stats=stats)
+    for phase in ("prune", "cut", "compile", "search"):
+        assert phase in stats.timings.laps, phase
+        assert stats.timings.seconds(phase) >= 0.0
