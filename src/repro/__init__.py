@@ -45,6 +45,8 @@ from repro.uncertain import (
 from repro.core import (
     EnumerationStats,
     KTauCoreMaintainer,
+    PreparedGraph,
+    SessionCacheStats,
     approximate_maximal_cliques,
     edge_gamma_support,
     truss_prune_for_cliques,
@@ -121,6 +123,9 @@ __all__ = [
     "max_rds",
     "max_uc_plus",
     "MaximumSearchStats",
+    # query session
+    "PreparedGraph",
+    "SessionCacheStats",
     # extensions beyond the paper
     "top_r_maximal_cliques",
     "cliques_containing",

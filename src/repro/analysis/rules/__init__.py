@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.analysis.rules.base import Rule
 from repro.analysis.rules.errors import SwallowedError
+from repro.analysis.rules.layering import StageBypassesSession
 from repro.analysis.rules.mutation import FrozenGraphMutation
 from repro.analysis.rules.probability import (
     LogLinearMixing,
@@ -25,6 +26,7 @@ __all__ = [
     "FrozenGraphMutation",
     "LogLinearMixing",
     "RawThresholdCompare",
+    "StageBypassesSession",
     "SwallowedError",
     "UnseededRandom",
     "UnvalidatedProbabilityStore",
@@ -37,6 +39,7 @@ ALL_RULES: tuple[Rule, ...] = (
     FrozenGraphMutation(),
     LogLinearMixing(),
     SwallowedError(),
+    StageBypassesSession(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}

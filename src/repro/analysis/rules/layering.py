@@ -1,0 +1,81 @@
+"""Layering rule: RPL007 — stage functions are called through the session.
+
+The pipeline stages (:mod:`repro.core.pipeline`) are pure functions, and
+nothing stops an algorithm module from calling one directly — but doing
+so silently bypasses the :class:`~repro.core.session.PreparedGraph`
+memoization layer: the artifact gets rebuilt from scratch on every call
+and never lands in (or reads from) the version-keyed cache.  Inside
+``repro/core`` the session is the only sanctioned caller; everything
+else routes through it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, ClassVar, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.engine import FileContext
+
+__all__ = ["StageBypassesSession"]
+
+#: The pipeline stage functions the session layer memoizes.
+STAGE_FUNCTIONS = frozenset(
+    {
+        "prune_stage",
+        "cut_stage",
+        "compile_enumeration_stage",
+        "compile_maximum_stage",
+        "color_stage",
+        "enumeration_search_stage",
+        "maximum_search_stage",
+    }
+)
+
+#: Files allowed to touch the stages: their definitions, and the session
+#: layer that memoizes them.
+_SANCTIONED_FILES = ("pipeline.py", "session.py")
+
+
+class StageBypassesSession(Rule):
+    """RPL007 — a pipeline stage function called outside the session layer.
+
+    Flags calls to any :data:`STAGE_FUNCTIONS` name — bare
+    (``prune_stage(...)``) or attribute-qualified
+    (``pipeline.prune_stage(...)``) — in files under ``repro/core`` other
+    than ``pipeline.py`` and ``session.py``.  Code outside ``repro/core``
+    (tests, benchmarks, experiments) may compose stages by hand; the
+    algorithm layer itself must go through
+    :class:`~repro.core.session.PreparedGraph` so repeated queries hit
+    the version-keyed artifact cache.
+    """
+
+    rule_id: ClassVar[str] = "RPL007"
+    title: ClassVar[str] = "pipeline stage call bypassing the session layer"
+
+    def check(self, context: "FileContext") -> Iterator[Finding]:
+        if not context.in_directory("core"):
+            return
+        if any(context.is_file(name) for name in _SANCTIONED_FILES):
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                name = func.attr
+            elif isinstance(func, ast.Name):
+                name = func.id
+            else:
+                continue
+            if name in STAGE_FUNCTIONS:
+                yield self.finding(
+                    context,
+                    node,
+                    f"{name}(...) called directly; route through "
+                    "PreparedGraph so the stage artifact is memoized "
+                    "against the graph version",
+                )

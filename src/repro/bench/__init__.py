@@ -8,6 +8,11 @@ protocol lives in :mod:`repro.bench.runner`; the checked-in reports under
 :mod:`repro.bench.cli`.
 """
 
+from repro.bench.queries import (
+    QueriesReport,
+    QueryOpResult,
+    run_queries_bench,
+)
 from repro.bench.runner import (
     BenchReport,
     ConfigResult,
@@ -20,6 +25,9 @@ __all__ = [
     "BenchReport",
     "ConfigResult",
     "EngineRun",
+    "QueriesReport",
+    "QueryOpResult",
     "run_enumeration_bench",
     "run_maximum_bench",
+    "run_queries_bench",
 ]

@@ -17,6 +17,11 @@ shared machines).
 and the per-config ``jobs_speedup`` scaling curve lands in the report.
 ``--verbose`` prints the per-phase wall-clock breakdown (prune / cut /
 compile / search) recorded by the stats timings.
+
+``--suite`` selects which benchmarks run: ``engines`` (the default,
+above), ``queries`` (the repeated-query cold-vs-warm session suite of
+:mod:`repro.bench.queries`, written to ``BENCH_queries.json``), or
+``all``.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.bench.queries import QueriesReport, run_queries_bench
 from repro.bench.runner import (
     BenchReport,
     run_enumeration_bench,
@@ -68,6 +74,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--dataset", default="dblp_like", help="registry dataset name"
+    )
+    parser.add_argument(
+        "--suite",
+        choices=("engines", "queries", "all"),
+        default="engines",
+        help=(
+            "which benchmarks to run: the engine comparisons (default), "
+            "the repeated-query cold-vs-warm session suite, or both"
+        ),
     )
     parser.add_argument(
         "--quick",
@@ -147,6 +162,22 @@ def _print_report(report: BenchReport, verbose: bool) -> None:
                 print(f"    {name}: {phases or '(no phase timings)'}")
 
 
+def _print_queries_report(report: QueriesReport) -> None:
+    cache = report.provenance.get("session_cache")
+    print(
+        f"[{report.benchmark}] cold sessions vs warm session on "
+        f"{report.dataset} (scale={report.scale}, median of "
+        f"{report.repetitions}, cache={cache})"
+    )
+    for op in report.ops:
+        flag = "" if op.identical_output else "  OUTPUT MISMATCH"
+        print(
+            f"  {op.op} {op.params}: cold={op.cold_median_s:.4f}s "
+            f"warm={op.warm_median_s:.4f}s speedup={op.speedup:.2f}x{flag}"
+        )
+    print(f"  median warm speedup: {report.median_speedup:.2f}x")
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     scale = QUICK_SCALE if args.quick else 1.0
@@ -156,24 +187,32 @@ def main(argv: list[str] | None = None) -> int:
     else:
         jobs = QUICK_JOBS if args.quick else FULL_JOBS
 
-    reports = [
-        run_enumeration_bench(args.dataset, ENUM_CONFIGS, reps, scale, jobs),
-        run_maximum_bench(args.dataset, MAX_CONFIGS, reps, scale, jobs),
-    ]
-
     failures: list[str] = []
-    for report in reports:
-        _print_report(report, args.verbose)
-        path = report.write(args.out)
+    if args.suite in ("engines", "all"):
+        reports = [
+            run_enumeration_bench(args.dataset, ENUM_CONFIGS, reps, scale, jobs),
+            run_maximum_bench(args.dataset, MAX_CONFIGS, reps, scale, jobs),
+        ]
+        for report in reports:
+            _print_report(report, args.verbose)
+            path = report.write(args.out)
+            print(f"  wrote {path}")
+            if not report.all_identical():
+                failures.append(f"{report.benchmark}: engine outputs differ")
+            worst = report.worst_ratio()
+            if worst > 1.0 + args.tolerance:
+                failures.append(
+                    f"{report.benchmark}: bitset {worst:.2f}x the legacy "
+                    f"median somewhere (tolerance {1.0 + args.tolerance:.2f}x)"
+                )
+
+    if args.suite in ("queries", "all"):
+        queries_report = run_queries_bench(args.dataset, reps, scale)
+        _print_queries_report(queries_report)
+        path = queries_report.write(args.out)
         print(f"  wrote {path}")
-        if not report.all_identical():
-            failures.append(f"{report.benchmark}: engine outputs differ")
-        worst = report.worst_ratio()
-        if worst > 1.0 + args.tolerance:
-            failures.append(
-                f"{report.benchmark}: bitset {worst:.2f}x the legacy "
-                f"median somewhere (tolerance {1.0 + args.tolerance:.2f}x)"
-            )
+        if not queries_report.all_identical():
+            failures.append("queries: warm-session outputs differ from cold")
 
     if args.check and failures:
         for failure in failures:

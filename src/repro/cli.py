@@ -96,6 +96,71 @@ def _run_mine(opts: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_jobs(raw: str | None) -> int | None:
+    """Map the CLI ``--jobs`` string to the search drivers' parameter
+    (``'auto'`` means "all cores", which the drivers spell ``None``)."""
+    if raw is None:
+        return 1
+    if raw.strip().lower() in ("auto", "0"):
+        return None
+    return int(raw)
+
+
+def _run_query(opts: argparse.Namespace) -> int:
+    """The ``query`` command: anchored clique questions on an edge list."""
+    from repro.core.queries import (
+        cliques_containing,
+        containing_clique_exists,
+        is_extendable,
+    )
+    from repro.uncertain.clique_prob import clique_probability
+    from repro.uncertain.io import _parse_node, read_edge_list
+
+    graph = read_edge_list(opts.input)
+    jobs = _parse_jobs(opts.jobs)
+    print(
+        f"loaded {graph.num_nodes} nodes / {graph.num_edges} edges; "
+        f"k={opts.k}, tau={opts.tau}, query={opts.query}, "
+        f"engine={opts.engine}, jobs={opts.jobs or 1}"
+    )
+    if opts.query == "containing":
+        if not opts.node:
+            print("query containing requires --node")
+            return 2
+        anchor = _parse_node(opts.node)
+        count = 0
+        for clique in cliques_containing(
+            graph, anchor, opts.k, opts.tau,
+            engine=opts.engine, jobs=jobs,
+        ):
+            count += 1
+            prob = clique_probability(graph, clique)
+            print(
+                f"{len(clique)} nodes, CPr={prob:.6g}: "
+                f"{sorted(map(str, clique))}"
+            )
+        print(f"{count} maximal (k, tau)-clique(s) containing {opts.node!r}")
+        return 0
+    if not opts.nodes:
+        print(f"query {opts.query} requires --nodes")
+        return 2
+    # Anchor tokens get the same int-when-possible treatment as the edge
+    # list itself, so `--node 1` matches the node the loader created.
+    members = [_parse_node(part) for part in opts.nodes.split(",") if part]
+    if opts.query == "extendable":
+        answer = is_extendable(
+            graph, members, opts.tau, engine=opts.engine, jobs=jobs
+        )
+        print(f"extendable: {answer}")
+    else:
+        answer = containing_clique_exists(
+            graph, members, opts.k, opts.tau,
+            engine=opts.engine, jobs=jobs,
+        )
+        print(f"containing clique exists: {answer}")
+    return 0
+
+
 def _run_dataset(opts: argparse.Namespace) -> int:
     """The ``dataset`` command: export a synthetic dataset edge list."""
     from repro.datasets.registry import DATASETS, load_dataset
@@ -125,15 +190,15 @@ def _build_parser(runners: dict[str, Runner]) -> argparse.ArgumentParser:
             "mine user graphs, or export synthetic datasets"
         ),
     )
-    subcommands = [*runners, "all", "list", "mine", "dataset", "report"]
+    subcommands = [*runners, "all", "list", "mine", "query", "dataset", "report"]
     parser.add_argument(
         "experiment",
         choices=subcommands,
         metavar="command",
         help=(
             "an experiment name (see 'list'), 'all', 'mine' (clique "
-            "search on an edge list) or 'dataset' (export a synthetic "
-            "dataset)"
+            "search on an edge list), 'query' (anchored clique questions "
+            "on an edge list) or 'dataset' (export a synthetic dataset)"
         ),
     )
     parser.add_argument(
@@ -177,6 +242,29 @@ def _build_parser(runners: dict[str, Runner]) -> argparse.ArgumentParser:
     parser.add_argument(
         "--top", type=int, default=5, help="r for --mode top"
     )
+    # query options (--engine also applies to 'mine')
+    parser.add_argument(
+        "--engine",
+        choices=("bitset", "legacy"),
+        default="bitset",
+        help="search engine for the query command (default bitset)",
+    )
+    parser.add_argument(
+        "--query",
+        choices=("containing", "extendable", "exists"),
+        default="containing",
+        help=(
+            "query kind: cliques containing --node, whether --nodes is "
+            "extendable, or whether a containing clique exists"
+        ),
+    )
+    parser.add_argument(
+        "--node", help="anchor node for --query containing"
+    )
+    parser.add_argument(
+        "--nodes",
+        help="comma-separated node set for --query extendable/exists",
+    )
     # dataset options
     parser.add_argument("--name", help="dataset name for the export command")
     parser.add_argument(
@@ -217,6 +305,10 @@ def main(argv: list[str] | None = None) -> int:
         if not opts.input:
             parser.error("mine requires --input")
         return _run_mine(opts)
+    if opts.experiment == "query":
+        if not opts.input:
+            parser.error("query requires --input")
+        return _run_query(opts)
     if opts.experiment == "dataset":
         if not opts.name or not opts.output:
             parser.error("dataset requires --name and --output")

@@ -53,6 +53,17 @@ from repro.core.maximum import (
     MaximumSearchStats,
 )
 from repro.core.topr import top_r_maximal_cliques
+from repro.core.pipeline import (
+    CutArtifact,
+    prune_stage,
+    cut_stage,
+    compile_enumeration_stage,
+    compile_maximum_stage,
+    color_stage,
+    enumeration_search_stage,
+    maximum_search_stage,
+)
+from repro.core.session import PreparedGraph, SessionCacheStats
 from repro.core.queries import (
     cliques_containing,
     is_extendable,
@@ -106,6 +117,16 @@ __all__ = [
     "max_uc_plus",
     "MaximumSearchStats",
     "top_r_maximal_cliques",
+    "CutArtifact",
+    "prune_stage",
+    "cut_stage",
+    "compile_enumeration_stage",
+    "compile_maximum_stage",
+    "color_stage",
+    "enumeration_search_stage",
+    "maximum_search_stage",
+    "PreparedGraph",
+    "SessionCacheStats",
     "cliques_containing",
     "is_extendable",
     "containing_clique_exists",

@@ -37,7 +37,11 @@ import bisect
 from dataclasses import dataclass, fields
 from typing import Iterator, Literal
 
-from repro.core.cut_pruning import cut_optimize
+# KERNEL_COMPONENT_LIMIT, enumerate_component and the core peels are
+# re-exported module attributes by contract: the session/pipeline layer
+# reads them from *this* module at call time, and regression tests
+# monkeypatch them (the kernel size limit, the compiled entry point, the
+# pre-search peels for the laziness tripwire).
 from repro.core.kernel import (
     KERNEL_COMPONENT_LIMIT,
     enumerate_component,
@@ -45,10 +49,8 @@ from repro.core.kernel import (
 )
 from repro.core.ktau_core import dp_core_plus
 from repro.core.topk_core import topk_core, topk_core_arrays
-from repro.deterministic.components import component_subgraphs
 from repro.uncertain.graph import Node, UncertainGraph
 from repro.utils.timing import Stopwatch
-from repro.utils.validation import threshold_floor, validate_k, validate_tau
 
 __all__ = [
     "EnumerationStats",
@@ -167,84 +169,23 @@ def maximal_cliques(
     This is a generator function, so *nothing* — validation, pruning, cut
     optimization, component splitting — happens until the first
     ``next()``; a regression test pins that laziness.
+
+    One-shot convenience wrapper around the staged pipeline: repeated
+    queries against the same graph should hold a
+    :class:`repro.core.session.PreparedGraph` and call its
+    :meth:`~repro.core.session.PreparedGraph.maximal_cliques`, which
+    memoizes the prune / cut / compile artifacts across calls (outputs
+    are bit-identical either way).
     """
-    validate_k(k)
-    tau = validate_tau(tau)
-    if pruning not in ("topk", "ktau", "none"):
-        raise ValueError(f"unknown pruning rule {pruning!r}")
-    if engine not in ("bitset", "legacy"):
-        raise ValueError(f"unknown engine {engine!r}")
-    stats = stats if stats is not None else EnumerationStats()
-    min_size = k + 1
+    # Imported lazily: the session layer imports this module for the
+    # stats types and the legacy recursion, so a top-level import would
+    # be a cycle.
+    from repro.core.session import PreparedGraph
 
-    with stats.timings.lap("prune"):
-        if pruning == "topk":
-            # Same fixpoint either way; the bitset engine uses the
-            # compiled array peel so large graphs skip the per-edge
-            # hashing/bisects.
-            if engine == "bitset":
-                survivors = set(topk_core_arrays(graph, k, tau))
-            else:
-                survivors = set(topk_core(graph, k, tau).nodes)
-        elif pruning == "ktau":
-            survivors = dp_core_plus(graph, k, tau)
-        else:
-            survivors = set(graph.nodes())
-        stats.nodes_after_pruning = len(survivors)
-        pruned = graph.induced_subgraph(survivors)
-
-    with stats.timings.lap("cut"):
-        if cut:
-            result = cut_optimize(pruned, k, tau)
-            components = result.components
-            stats.cuts_found = result.cuts_found
-            stats.cut_edges_removed = result.edges_removed
-        else:
-            components = component_subgraphs(pruned)
-    stats.components = len(components)
-
-    # All threshold checks in the hot search loop use the pre-computed
-    # tolerant floor (see repro.utils.validation) instead of calling
-    # prob_at_least per edge.
-    tau_floor = threshold_floor(tau)
-
-    if engine == "bitset":
-        # Imported lazily: repro.core.parallel imports this module for
-        # the stats types, so a top-level import would be a cycle.
-        from repro.core.parallel import enumerate_parallel, resolve_jobs
-
-        n_jobs = resolve_jobs(jobs)
-        if n_jobs > 1:
-            yield from enumerate_parallel(
-                components, k, tau_floor, min_size, insearch,
-                _INSEARCH_MIN_CANDIDATES, KERNEL_COMPONENT_LIMIT, n_jobs,
-                stats,
-            )
-            return
-
-    for component in components:
-        if component.num_nodes < min_size:
-            continue
-        if (
-            engine == "bitset"
-            and component.num_nodes <= KERNEL_COMPONENT_LIMIT
-        ):
-            # The module global is read here (not at import) so tests can
-            # monkeypatch the in-search gate for either engine.  Oversized
-            # components fall through to the tuple-list recursion below —
-            # above the limit every bitmask op pays O(n / 64) words even
-            # where candidate sets are tiny, which is slower than the
-            # legacy core (outputs are identical either way).
-            yield from enumerate_component(
-                component, k, tau_floor, min_size, insearch,
-                _INSEARCH_MIN_CANDIDATES, stats,
-            )
-        else:
-            candidates = [(v, 1.0) for v in _ordered(component.nodes())]
-            yield from _muc(
-                component, [], 1.0, candidates, [], k, tau_floor, min_size,
-                insearch, stats,
-            )
+    return PreparedGraph(graph).maximal_cliques(
+        k, tau, pruning=pruning, cut=cut, insearch=insearch, stats=stats,
+        engine=engine, jobs=jobs,
+    )
 
 
 #: The in-search peel is skipped for candidate sets smaller than this —

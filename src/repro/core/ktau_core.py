@@ -83,7 +83,7 @@ def _peel(
     while True:
         while queue:
             u = queue.popleft()
-            for v in list(work.neighbors(u)):
+            for v in list(work.incident(u)):
                 # _peel owns its scratch graph by contract (see docstring).
                 p = work.remove_edge(u, v)  # repro-lint: ignore[RPL004]
                 if v in queued:

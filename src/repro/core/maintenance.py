@@ -21,6 +21,7 @@ test suite checks this after randomized update sequences.
 from __future__ import annotations
 
 from collections import deque
+from typing import TYPE_CHECKING, Union
 
 from repro.core.ktau_core import dp_core_plus
 from repro.core.tau_degree import survival_dp, tau_degree_from_survival
@@ -31,14 +32,26 @@ from repro.utils.validation import (
     validate_tau,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - type-only (session imports us not)
+    from repro.core.session import PreparedGraph
+
 __all__ = ["KTauCoreMaintainer"]
 
 
 class KTauCoreMaintainer:
     """Maintains the (k, tau)-core of a mutable uncertain graph.
 
-    The maintainer owns a private copy of the graph; apply updates
-    through :meth:`add_edge`, :meth:`remove_edge` and
+    Constructed over a plain :class:`UncertainGraph` the maintainer owns
+    a private copy (historical behavior: the caller's graph is never
+    touched).  Constructed over a :class:`~repro.core.session.
+    PreparedGraph` it operates on the **session's live graph** instead:
+    each update mutates that graph (bumping its version, which orphans
+    every cached stage artifact) and immediately republishes the
+    incrementally-maintained core into the session cache at the new
+    version via :meth:`PreparedGraph.store_core` — so the session's next
+    query at these parameters skips the from-scratch peel.
+
+    Apply updates through :meth:`add_edge`, :meth:`remove_edge` and
     :meth:`set_probability`, and read the current core via :attr:`core`.
 
     Example::
@@ -46,14 +59,30 @@ class KTauCoreMaintainer:
         maintainer = KTauCoreMaintainer(graph, k=3, tau=0.5)
         maintainer.add_edge("a", "b", 0.9)
         maintainer.core          # updated (k, tau)-core node set
+
+        session = PreparedGraph(graph)
+        maintainer = KTauCoreMaintainer(session, k=3, tau=0.5)
+        maintainer.add_edge("c", "d", 0.8)   # mutates session.graph,
+                                             # core pre-warmed in cache
     """
 
-    def __init__(self, graph: UncertainGraph, k: int, tau: float) -> None:
+    def __init__(
+        self,
+        source: Union[UncertainGraph, "PreparedGraph"],
+        k: int,
+        tau: float,
+    ) -> None:
         validate_k(k)
         self.k = k
         self.tau = validate_tau(tau)
-        self._graph = graph.copy()
+        if isinstance(source, UncertainGraph):
+            self._session = None
+            self._graph = source.copy()
+        else:
+            self._session = source
+            self._graph = source.graph
         self._core: set[Node] = dp_core_plus(self._graph, k, tau)
+        self._publish()
 
     @property
     def graph(self) -> UncertainGraph:
@@ -65,6 +94,11 @@ class KTauCoreMaintainer:
         """The current (k, tau)-core."""
         return frozenset(self._core)
 
+    @property
+    def session(self) -> "PreparedGraph | None":
+        """The attached session, or ``None`` in private-copy mode."""
+        return self._session
+
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
@@ -73,12 +107,14 @@ class KTauCoreMaintainer:
         """Insert an edge and return the updated core."""
         self._graph.add_edge(u, v, p)
         self._grow(u, v)
+        self._publish()
         return self.core
 
     def remove_edge(self, u: Node, v: Node) -> frozenset[Node]:
         """Delete an edge and return the updated core."""
         self._graph.remove_edge(u, v)
         self._shrink((u, v))
+        self._publish()
         return self.core
 
     def set_probability(self, u: Node, v: Node, p: float) -> frozenset[Node]:
@@ -90,6 +126,7 @@ class KTauCoreMaintainer:
             self._grow(u, v)
         else:
             self._shrink((u, v))
+        self._publish()
         return self.core
 
     def add_node(self, node: Node) -> None:
@@ -97,6 +134,17 @@ class KTauCoreMaintainer:
         self._graph.add_node(node)
         if self.k == 0:
             self._core.add(node)
+        self._publish()
+
+    # ------------------------------------------------------------------
+    # Session integration
+    # ------------------------------------------------------------------
+
+    def _publish(self) -> None:
+        """Republish the maintained core into the attached session (if
+        any) at the graph's current version."""
+        if self._session is not None:
+            self._session.store_core("ktau", self.k, self.tau, self._core)
 
     # ------------------------------------------------------------------
     # Internals

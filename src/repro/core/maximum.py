@@ -23,17 +23,15 @@ nodes, so searches start from an incumbent size of ``k``.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import AbstractSet, Literal
+from typing import Literal
 
 from repro.core.bounds import (
     advanced_color_bound_one,
     advanced_color_bound_two,
     basic_color_bound,
 )
-from repro.core.cut_pruning import cut_optimize
-from repro.core.kernel import maximum_component, node_sort_key
-from repro.core.topk_core import topk_core, topk_core_arrays
-from repro.deterministic.coloring import greedy_coloring
+from repro.core.kernel import node_sort_key
+from repro.core.topk_core import topk_core
 from repro.uncertain.graph import Node, UncertainGraph
 from repro.utils.timing import Stopwatch
 from repro.utils.validation import (
@@ -281,134 +279,120 @@ def max_uc_plus(
     Any ``jobs`` value returns the identical clique with identical stats
     counters; see :func:`repro.core.parallel.maximum_parallel` for how
     the sequential incumbent chain is reproduced exactly.
+
+    One-shot convenience wrapper around the staged pipeline: repeated
+    queries against the same graph should hold a
+    :class:`repro.core.session.PreparedGraph` and call its
+    :meth:`~repro.core.session.PreparedGraph.max_uc_plus`, which memoizes
+    the prune / cut / compile artifacts across calls (outputs are
+    bit-identical either way).
     """
-    validate_k(k)
-    tau = validate_tau(tau)
-    if engine not in ("bitset", "legacy"):
-        raise ValueError(f"unknown engine {engine!r}")
-    stats = stats if stats is not None else MaximumSearchStats()
-    min_size = k + 1
-    tau_floor = threshold_floor(tau)
+    # Imported lazily: the session layer imports this module for the
+    # stats type and the legacy search, so a top-level import would be a
+    # cycle.
+    from repro.core.session import PreparedGraph
 
-    with stats.timings.lap("prune"):
-        # Same fixpoint either way; the bitset engine uses the compiled
-        # array peel so large graphs skip the per-edge hashing/bisects.
-        if engine == "bitset":
-            survivors: AbstractSet[Node] = topk_core_arrays(graph, k, tau)
-        else:
-            survivors = topk_core(graph, k, tau).nodes
-        pruned = graph.induced_subgraph(survivors)
-    with stats.timings.lap("cut"):
-        components = cut_optimize(pruned, k, tau).components
+    return PreparedGraph(graph).max_uc_plus(
+        k, tau, stats=stats, use_advanced_one=use_advanced_one,
+        use_advanced_two=use_advanced_two, insearch=insearch,
+        engine=engine, jobs=jobs,
+    )
 
-    best: list[Node] | None = None
-    best_size = k
 
-    if engine == "bitset":
-        # Imported lazily: repro.core.parallel imports this module for
-        # the stats types, so a top-level import would be a cycle.
-        from repro.core.parallel import maximum_parallel, resolve_jobs
+def _search_component_legacy(
+    component: UncertainGraph,
+    colors: dict[Node, int],
+    k: int,
+    tau: float,
+    tau_floor: float,
+    min_size: int,
+    best: list[Node] | None,
+    best_size: int,
+    use_advanced_one: bool,
+    use_advanced_two: bool,
+    insearch: bool,
+    stats: MaximumSearchStats,
+) -> tuple[list[Node] | None, int]:
+    """MaxUC+ search of one component with the legacy dict-of-dicts
+    recursion (the historical in-driver closure, extracted so the staged
+    pipeline can call it per component).
 
-        n_jobs = resolve_jobs(jobs)
-        if n_jobs > 1:
-            best, best_size = maximum_parallel(
-                components, k, tau_floor, min_size, use_advanced_one,
-                use_advanced_two, insearch, n_jobs, stats,
-            )
-            stats.best_size = best_size if best is not None else 0
-            if best is None or len(best) < min_size:
-                return None
-            return frozenset(best)
+    ``best`` / ``best_size`` seed the incumbent; the improved pair is
+    returned (``best`` unchanged when the component cannot beat it).
+    """
 
-    for component in components:
-        if component.num_nodes <= best_size:
-            continue
-        if engine == "bitset":
-            improved, best_size = maximum_component(
-                component, k, tau_floor, min_size, best_size,
-                use_advanced_one, use_advanced_two, insearch, stats,
-            )
-            if improved is not None:
-                best = improved
-            continue
-        colors = greedy_coloring(component)
+    def search(
+        clique: list[Node],
+        clique_prob: float,
+        candidates: list[tuple[Node, float]],
+    ) -> None:
+        nonlocal best, best_size
+        stats.search_calls += 1
+        if len(clique) > best_size:
+            best = list(clique)
+            best_size = len(clique)
+        if not candidates:
+            return
 
-        def search(
-            clique: list[Node],
-            clique_prob: float,
-            candidates: list[tuple[Node, float]],
-        ) -> None:
-            nonlocal best, best_size
-            stats.search_calls += 1
-            if len(clique) > best_size:
-                best = list(clique)
-                best_size = len(clique)
-            if not candidates:
+        # Bounds, cheapest first (Section V implementation details).
+        if len(clique) + basic_color_bound(
+            colors, (v for v, _ in candidates)
+        ) <= best_size:
+            stats.basic_color_prunes += 1
+            return
+        if use_advanced_one and len(clique) + advanced_color_bound_one(
+            colors, candidates, clique_prob, tau
+        ) <= best_size:
+            stats.advanced_one_prunes += 1
+            return
+        if (
+            use_advanced_two
+            and clique
+            and len(clique) + advanced_color_bound_two(
+                component, colors, clique, candidates, clique_prob, tau
+            ) <= best_size
+        ):
+            stats.advanced_two_prunes += 1
+            return
+
+        if insearch and len(clique) < min_size:
+            members = clique + [v for v, _ in candidates]
+            sub = component.induced_subgraph(members)
+            core = topk_core(sub, k, tau, fixed=set(clique))
+            if not core.contains_fixed or len(core.nodes) < min_size:
+                stats.insearch_prunes += 1
                 return
+            if len(core.nodes) < len(members):
+                stats.insearch_prunes += 1
+                candidates = [
+                    (v, pi) for v, pi in candidates if v in core.nodes
+                ]
 
-            # Bounds, cheapest first (Section V implementation details).
-            if len(clique) + basic_color_bound(
-                colors, (v for v, _ in candidates)
-            ) <= best_size:
-                stats.basic_color_prunes += 1
+        index = 0
+        while index < len(candidates):
+            if len(clique) + len(candidates) - index <= best_size:
+                stats.size_bound_prunes += 1
                 return
-            if use_advanced_one and len(clique) + advanced_color_bound_one(
-                colors, candidates, clique_prob, tau
-            ) <= best_size:
-                stats.advanced_one_prunes += 1
-                return
-            if (
-                use_advanced_two
-                and clique
-                and len(clique) + advanced_color_bound_two(
-                    component, colors, clique, candidates, clique_prob, tau
-                ) <= best_size
-            ):
-                stats.advanced_two_prunes += 1
-                return
+            u, pi_u = candidates[index]
+            index += 1
+            new_prob = clique_prob * pi_u
+            incident = component.incident(u)
+            new_candidates = []
+            for v, pi_v in candidates[index:]:
+                p = incident.get(v)
+                if p is None:
+                    continue
+                pi = pi_v * p
+                # Hot path: tau_floor = threshold_floor(tau) fast path.
+                if new_prob * pi >= tau_floor:  # repro-lint: ignore[RPL001]
+                    new_candidates.append((v, pi))
+            clique.append(u)
+            search(clique, new_prob, new_candidates)
+            clique.pop()
 
-            if insearch and len(clique) < min_size:
-                members = clique + [v for v, _ in candidates]
-                sub = component.induced_subgraph(members)
-                core = topk_core(sub, k, tau, fixed=set(clique))
-                if not core.contains_fixed or len(core.nodes) < min_size:
-                    stats.insearch_prunes += 1
-                    return
-                if len(core.nodes) < len(members):
-                    stats.insearch_prunes += 1
-                    candidates = [
-                        (v, pi) for v, pi in candidates if v in core.nodes
-                    ]
-
-            index = 0
-            while index < len(candidates):
-                if len(clique) + len(candidates) - index <= best_size:
-                    stats.size_bound_prunes += 1
-                    return
-                u, pi_u = candidates[index]
-                index += 1
-                new_prob = clique_prob * pi_u
-                incident = component.incident(u)
-                new_candidates = []
-                for v, pi_v in candidates[index:]:
-                    p = incident.get(v)
-                    if p is None:
-                        continue
-                    pi = pi_v * p
-                    # Hot path: tau_floor = threshold_floor(tau) fast path.
-                    if new_prob * pi >= tau_floor:  # repro-lint: ignore[RPL001]
-                        new_candidates.append((v, pi))
-                clique.append(u)
-                search(clique, new_prob, new_candidates)
-                clique.pop()
-
-        ordered = sorted(component.nodes(), key=_node_sort_key)
-        search([], 1.0, [(v, 1.0) for v in ordered])
-
-    stats.best_size = best_size if best is not None else 0
-    if best is None or len(best) < min_size:
-        return None
-    return frozenset(best)
+    ordered = sorted(component.nodes(), key=_node_sort_key)
+    search([], 1.0, [(v, 1.0) for v in ordered])
+    return best, best_size
 
 
 Algorithm = Literal["max_uc", "max_rds", "max_uc_plus"]

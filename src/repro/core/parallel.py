@@ -202,6 +202,7 @@ def enumerate_parallel(
     component_limit: int,
     n_jobs: int,
     stats: EnumerationStats,
+    compiled: Sequence[CompiledComponent | None] | None = None,
 ) -> Iterator[frozenset[Node]]:
     """Fan the per-component enumeration over ``n_jobs`` processes.
 
@@ -212,6 +213,12 @@ def enumerate_parallel(
     up identical to a ``jobs=1`` run: the driver does the root-call
     bookkeeping per component, workers count their range, and ``merge``
     folds the rest back in.
+
+    ``compiled`` optionally supplies the compile-stage artifact (one
+    :class:`CompiledComponent` or ``None`` per component, as produced by
+    :func:`repro.core.pipeline.compile_enumeration_stage`); components it
+    covers skip the in-driver compile, so a warm session pays nothing
+    here.  Omitted or ``None`` entries are compiled in-driver as before.
     """
     t_start = perf_counter()
     compile_s = 0.0
@@ -228,9 +235,11 @@ def enumerate_parallel(
             legacy_slot[ordinal] = component
             slot_order.append(ordinal)
             continue
-        t0 = perf_counter()
-        comp = compile_component(component)
-        compile_s += perf_counter() - t0
+        comp = compiled[ordinal] if compiled is not None else None
+        if comp is None:
+            t0 = perf_counter()
+            comp = compile_component(component)
+            compile_s += perf_counter() - t0
         if comp.n == 0:
             continue
         cands = enum_root_prep(
@@ -327,12 +336,20 @@ def maximum_parallel(
     insearch: bool,
     n_jobs: int,
     stats: MaximumSearchStats,
+    precompiled: Sequence[tuple[CompiledComponent, list[int]] | None] | None = None,
 ) -> tuple[list[Node] | None, int]:
     """Fan the MaxUC+ component loop over ``n_jobs`` processes.
 
     Returns ``(best, best_size)`` exactly as the sequential component
     loop would, with ``stats`` counters identical to ``jobs=1`` — see
     the module docstring for the speculative two-phase argument.
+
+    ``precompiled`` optionally supplies the compile-stage artifact (one
+    ``(compiled component, color array)`` pair or ``None`` per
+    component, as produced by
+    :func:`repro.core.pipeline.compile_maximum_stage`, which uses the
+    same ``n > k`` eligibility rule); covered components skip the
+    in-driver compile + coloring.
     """
     t_start = perf_counter()
     compile_s = 0.0
@@ -341,9 +358,13 @@ def maximum_parallel(
     # (anything with more than k nodes; smaller ones are skipped under
     # every incumbent the chain can produce).
     compiled: list[tuple[UncertainGraph, CompiledComponent, list[int]] | None] = []
-    for component in components:
+    for i, component in enumerate(components):
         if component.num_nodes <= k:
             compiled.append(None)
+            continue
+        entry = precompiled[i] if precompiled is not None else None
+        if entry is not None:
+            compiled.append((component, entry[0], entry[1]))
             continue
         t0 = perf_counter()
         comp = compile_component(component)

@@ -1,0 +1,401 @@
+"""Composable stages of the clique-search flow: prune, cut, compile, search.
+
+The monolithic drivers (``maximal_cliques``, ``max_uc_plus``) are decomposed
+here into four explicit stages, each a pure function from graph state and
+parameters to a deterministic artifact:
+
+* :func:`prune_stage` — core-based preprocessing (Lemmas 1 and 4); returns
+  the surviving nodes **in graph iteration order**, so the artifact is
+  reproducible no matter which engine peeled or which cached seed the
+  session layer supplied.
+* :func:`cut_stage` — cut optimization / component split (Lemma 5); returns
+  the component subgraphs plus the counters the stats objects report.
+* :func:`compile_enumeration_stage` / :func:`compile_maximum_stage` /
+  :func:`color_stage` — per-component search preparation: the picklable
+  :class:`~repro.core.kernel.CompiledComponent` CSR bundles for the bitset
+  engine (plus color arrays for the maximum search) and the greedy-coloring
+  dicts for the legacy maximum search.
+* :func:`enumeration_search_stage` / :func:`maximum_search_stage` — the
+  actual search, sequential or process-parallel, consuming the compile
+  artifacts.
+
+Stage artifacts carry **no counters and no wall clocks** — those belong to
+the per-run stats objects, which the search stages fill identically on
+every run.  That split is what makes memoization sound: replaying a cached
+artifact through the search stage yields bit-identical cliques, yield
+order, and stats counters to a cold run.
+
+Inside :mod:`repro.core` the only intended caller is the session layer
+(:class:`repro.core.session.PreparedGraph`), which memoizes the artifacts
+keyed by the graph's :attr:`~repro.uncertain.graph.UncertainGraph.version`;
+repro-lint rule RPL007 flags direct stage calls that bypass it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Iterator, Sequence
+
+from repro.core.cut_pruning import cut_optimize
+from repro.core.enumeration import (
+    EnumerationStats,
+    _muc,
+    _ordered,
+)
+from repro.core.kernel import (
+    CompiledComponent,
+    compile_component,
+    enum_root_prep,
+    enumerate_root_range,
+    maximum_compiled,
+)
+from repro.core.ktau_core import dp_core_plus
+from repro.core.maximum import MaximumSearchStats, _search_component_legacy
+from repro.deterministic.coloring import greedy_coloring
+from repro.deterministic.components import component_subgraphs
+from repro.uncertain.graph import Node, UncertainGraph
+
+__all__ = [
+    "CutArtifact",
+    "prune_stage",
+    "cut_stage",
+    "compile_enumeration_stage",
+    "compile_maximum_stage",
+    "color_stage",
+    "enumeration_search_stage",
+    "maximum_search_stage",
+]
+
+
+# ----------------------------------------------------------------------
+# Stage 1: prune
+# ----------------------------------------------------------------------
+
+def prune_stage(
+    graph: UncertainGraph,
+    k: int,
+    tau: float,
+    rule: str,
+    engine: str,
+) -> tuple[Node, ...]:
+    """Core-based preprocessing: the nodes surviving ``rule`` at (k, tau).
+
+    ``rule`` is ``"topk"`` ((Top_k, tau)-core, Lemma 4), ``"ktau"``
+    ((k, tau)-core via DPCore+, Lemma 1) or ``"none"``.  The survivors are
+    returned as a tuple **in the iteration order of ``graph``** — both
+    peels produce the same unique fixpoint *set* whichever engine runs
+    them, and normalizing the order makes the artifact independent of the
+    peel's internal set layout, so a cached artifact reproduces a cold
+    run's downstream component order exactly.
+    """
+    # The peels are looked up on the enumeration module at call time:
+    # they are its re-exported attributes by contract, and the laziness
+    # regression test monkeypatches them there to prove no pruning runs
+    # before a consumer starts iterating.
+    from repro.core import enumeration as enumeration_mod
+
+    survivors: frozenset[Node] | set[Node]
+    if rule == "none":
+        return tuple(graph.nodes())
+    if rule == "topk":
+        # Same fixpoint either way; the bitset engine uses the compiled
+        # array peel so large graphs skip the per-edge hashing/bisects.
+        if engine == "bitset":
+            survivors = set(enumeration_mod.topk_core_arrays(graph, k, tau))
+        else:
+            survivors = set(enumeration_mod.topk_core(graph, k, tau).nodes)
+    elif rule == "ktau":
+        survivors = dp_core_plus(graph, k, tau)
+    else:
+        raise ValueError(f"unknown pruning rule {rule!r}")
+    if len(survivors) == graph.num_nodes:
+        return tuple(graph.nodes())
+    return tuple(u for u in graph if u in survivors)
+
+
+# ----------------------------------------------------------------------
+# Stage 2: cut
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CutArtifact:
+    """Outcome of :func:`cut_stage`, ready for memoization.
+
+    ``components`` are independent induced subgraphs (never mutated by the
+    search stages, so they can be replayed across runs); the counter
+    fields carry everything the enumeration stats report about the
+    pre-search phases, so a warm run fills its stats object identically
+    to the cold run that built the artifact.
+    """
+
+    components: tuple[UncertainGraph, ...]
+    cuts_found: int
+    edges_removed: int
+    nodes_after_pruning: int
+
+
+def cut_stage(
+    pruned: UncertainGraph,
+    k: int,
+    tau: float,
+    cut: bool,
+    nodes_after_pruning: int,
+) -> CutArtifact:
+    """Split the pruned graph into search components (Lemma 5).
+
+    With ``cut=True`` runs the cut-based optimization; otherwise a plain
+    connected-component split.  ``nodes_after_pruning`` is carried through
+    from the prune stage so the artifact is self-contained.
+    """
+    if cut:
+        result = cut_optimize(pruned, k, tau)
+        return CutArtifact(
+            components=tuple(result.components),
+            cuts_found=result.cuts_found,
+            edges_removed=result.edges_removed,
+            nodes_after_pruning=nodes_after_pruning,
+        )
+    return CutArtifact(
+        components=tuple(component_subgraphs(pruned)),
+        cuts_found=0,
+        edges_removed=0,
+        nodes_after_pruning=nodes_after_pruning,
+    )
+
+
+# ----------------------------------------------------------------------
+# Stage 3: compile
+# ----------------------------------------------------------------------
+
+def compile_enumeration_stage(
+    components: Sequence[UncertainGraph],
+    min_size: int,
+    component_limit: int,
+) -> tuple[CompiledComponent | None, ...]:
+    """Compile each component the bitset enumeration will search.
+
+    One slot per component, in order: a picklable
+    :class:`~repro.core.kernel.CompiledComponent` when the component is
+    searchable by the compiled kernel (``min_size <= n <= limit``), else
+    ``None`` — the search stage re-derives *why* a slot is ``None`` from
+    the component size (too small: skipped; too large: legacy fallback).
+    """
+    compiled: list[CompiledComponent | None] = []
+    for component in components:
+        if min_size <= component.num_nodes <= component_limit:
+            compiled.append(compile_component(component))
+        else:
+            compiled.append(None)
+    return tuple(compiled)
+
+
+def compile_maximum_stage(
+    components: Sequence[UncertainGraph],
+    k: int,
+) -> tuple[tuple[CompiledComponent, list[int]] | None, ...]:
+    """Eagerly compile each component the bitset maximum search could visit.
+
+    A component can only be searched when it beats the starting incumbent
+    (``n > k``); eligible slots hold the compiled component plus its
+    greedy-coloring mapped onto the compiled node order (the exact pair
+    :func:`repro.core.kernel.maximum_compiled` consumes and the parallel
+    layer ships to workers).
+
+    This is the eager whole-front variant; the session layer instead
+    memoizes on demand through :func:`maximum_search_stage`, because the
+    sequential search skips components the growing incumbent dominates
+    and never needs their compile.
+    """
+    compiled: list[tuple[CompiledComponent, list[int]] | None] = []
+    for component in components:
+        if component.num_nodes <= k:
+            compiled.append(None)
+            continue
+        comp = compile_component(component)
+        coloring = greedy_coloring(component)
+        compiled.append((comp, [coloring[u] for u in comp.nodes]))
+    return tuple(compiled)
+
+
+def color_stage(
+    components: Sequence[UncertainGraph],
+    k: int,
+) -> tuple[dict[Node, int] | None, ...]:
+    """Greedy colorings for the legacy maximum search (one per eligible
+    component, ``None`` for components the incumbent chain always skips)."""
+    return tuple(
+        greedy_coloring(component) if component.num_nodes > k else None
+        for component in components
+    )
+
+
+# ----------------------------------------------------------------------
+# Stage 4: search
+# ----------------------------------------------------------------------
+
+def enumeration_search_stage(
+    components: Sequence[UncertainGraph],
+    compiled: Sequence[CompiledComponent | None] | None,
+    k: int,
+    tau_floor: float,
+    min_size: int,
+    insearch: bool,
+    insearch_min_candidates: int,
+    engine: str,
+    n_jobs: int,
+    component_limit: int,
+    stats: EnumerationStats,
+) -> Iterator[frozenset[Node]]:
+    """Run the per-component enumeration over the compile artifacts.
+
+    Yields exactly the sequence the historical monolithic driver produced:
+    components in order, oversized components through the legacy
+    recursion, compiled ones through the kernel, ``n_jobs > 1`` through
+    the deterministic-merge parallel layer.  All counters accrue to
+    ``stats`` on every run (they are never part of a cached artifact).
+    """
+    if engine == "bitset" and n_jobs > 1:
+        from repro.core.parallel import enumerate_parallel
+
+        yield from enumerate_parallel(
+            components, k, tau_floor, min_size, insearch,
+            insearch_min_candidates, component_limit, n_jobs, stats,
+            compiled=compiled,
+        )
+        return
+
+    for ordinal, component in enumerate(components):
+        if component.num_nodes < min_size:
+            continue
+        comp = compiled[ordinal] if compiled is not None else None
+        if engine == "bitset" and comp is not None:
+            # The compiled fast path: enumerate_component minus its
+            # compile step (the artifact already paid it), same prep /
+            # range composition, same counters, same timings shape.
+            t_start = perf_counter()
+            cands = enum_root_prep(
+                comp, k, tau_floor, min_size, insearch,
+                insearch_min_candidates, stats,
+            )
+            out: list[frozenset[Node]] = []
+            if cands is not None:
+                out = enumerate_root_range(
+                    comp, k, tau_floor, min_size, insearch,
+                    insearch_min_candidates, cands, 0, len(cands), stats,
+                )
+            stats.timings.add("search", perf_counter() - t_start)
+            yield from out
+        else:
+            # Legacy engine, or a component above the kernel limit: the
+            # tuple-list recursion, interleaved with the consumer.
+            candidates = [(v, 1.0) for v in _ordered(component.nodes())]
+            yield from _muc(
+                component, [], 1.0, candidates, [], k, tau_floor,
+                min_size, insearch, stats,
+            )
+
+
+def _compiled_maximum_entry(
+    memo: dict[int, tuple[CompiledComponent, list[int]]] | None,
+    ordinal: int,
+    component: UncertainGraph,
+    stats: MaximumSearchStats,
+) -> tuple[CompiledComponent, list[int]]:
+    """The (compiled component, color list) pair for one component,
+    compiled on demand and memoized.
+
+    Compilation stays **lazy with respect to the evolving incumbent** —
+    exactly as the historical driver, which only compiled a component
+    once the search actually reached it with ``n > best_size``.  An
+    eager compile-everything stage would pay compilation and coloring
+    for every component a growing incumbent later skips.
+    """
+    entry = memo.get(ordinal) if memo is not None else None
+    if entry is None:
+        t_start = perf_counter()
+        comp = compile_component(component)
+        coloring = greedy_coloring(component)
+        entry = (comp, [coloring[u] for u in comp.nodes])
+        stats.timings.add("compile", perf_counter() - t_start)
+        if memo is not None:
+            memo[ordinal] = entry
+    return entry
+
+
+def maximum_search_stage(
+    components: Sequence[UncertainGraph],
+    compiled: dict[int, tuple[CompiledComponent, list[int]]] | None,
+    colors: dict[int, dict[Node, int]] | None,
+    k: int,
+    tau: float,
+    tau_floor: float,
+    min_size: int,
+    use_advanced_one: bool,
+    use_advanced_two: bool,
+    insearch: bool,
+    engine: str,
+    n_jobs: int,
+    stats: MaximumSearchStats,
+) -> tuple[list[Node] | None, int]:
+    """Run the MaxUC+ component loop, compiling on demand into the memos.
+
+    Returns ``(best, best_size)`` exactly as the historical monolithic
+    driver: components in order under the evolving incumbent, bitset
+    components through :func:`repro.core.kernel.maximum_compiled`, legacy
+    ones through the extracted closure, ``n_jobs > 1`` through the
+    two-phase speculative parallel layer.
+
+    ``compiled`` / ``colors`` are mutable memo dicts (ordinal -> compile
+    artifact), filled lazily as the incumbent chain reaches components —
+    the session layer caches the dict objects, so a warm run finds the
+    cold run's entries and the cold run never compiles a component the
+    incumbent skips.  The search path is deterministic, so which
+    ordinals get filled is too.  Pass ``None`` to disable memoization.
+    """
+    if engine == "bitset" and n_jobs > 1:
+        from repro.core.parallel import maximum_parallel
+
+        # The speculative phase A searches every eligible component, so
+        # the full precompile is real work, not waste; route it through
+        # the memo so a sequential warm run still benefits.
+        precompiled: list[tuple[CompiledComponent, list[int]] | None] = [
+            _compiled_maximum_entry(compiled, ordinal, component, stats)
+            if component.num_nodes > k
+            else None
+            for ordinal, component in enumerate(components)
+        ]
+        return maximum_parallel(
+            components, k, tau_floor, min_size, use_advanced_one,
+            use_advanced_two, insearch, n_jobs, stats,
+            precompiled=precompiled,
+        )
+
+    best: list[Node] | None = None
+    best_size = k
+    for ordinal, component in enumerate(components):
+        if component.num_nodes <= best_size:
+            continue
+        if engine == "bitset":
+            comp, color = _compiled_maximum_entry(
+                compiled, ordinal, component, stats
+            )
+            t_start = perf_counter()
+            improved, best_size = maximum_compiled(
+                comp, color, k, tau_floor, min_size, best_size,
+                use_advanced_one, use_advanced_two, insearch, stats,
+            )
+            stats.timings.add("search", perf_counter() - t_start)
+            if improved is not None:
+                best = improved
+            continue
+        coloring = colors.get(ordinal) if colors is not None else None
+        if coloring is None:
+            coloring = greedy_coloring(component)
+            if colors is not None:
+                colors[ordinal] = coloring
+        best, best_size = _search_component_legacy(
+            component, coloring, k, tau, tau_floor, min_size, best,
+            best_size, use_advanced_one, use_advanced_two, insearch, stats,
+        )
+    return best, best_size

@@ -7,18 +7,21 @@ This module answers those without a full enumeration by reusing the
 fixed-set variant of Algorithm 3 (the ``V_I`` parameter the paper
 introduces exactly for anchored searches) and restricting the
 set-enumeration to the anchor's neighborhood.
+
+The functions here are one-shot wrappers over the session layer: each
+call builds a throwaway :class:`~repro.core.session.PreparedGraph` and
+delegates to the method of the same name.  Callers issuing repeated
+queries against one graph should hold a session themselves — anchored
+cores and their compiled components are then cached across calls.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator
 
-from repro.core.enumeration import maximal_cliques
-from repro.core.topk_core import topk_core
-from repro.errors import NodeNotFoundError
-from repro.uncertain.clique_prob import clique_probability, is_clique
+from repro.core.enumeration import Engine
+from repro.core.session import PreparedGraph
 from repro.uncertain.graph import Node, UncertainGraph
-from repro.utils.validation import prob_at_least, validate_k, validate_tau
 
 __all__ = [
     "cliques_containing",
@@ -32,6 +35,8 @@ def cliques_containing(
     node: Node,
     k: int,
     tau: float,
+    engine: Engine = "bitset",
+    jobs: int | None = 1,
 ) -> Iterator[frozenset[Node]]:
     """Yield every maximal (k, tau)-clique of ``graph`` containing ``node``.
 
@@ -42,52 +47,34 @@ def cliques_containing(
     graph and the neighborhood subgraph.  The subgraph is further pruned
     with the anchored (Top_k, tau)-core (Algorithm 3's ``V_I``), which
     aborts immediately when the node itself cannot survive.
-    """
-    validate_k(k)
-    tau = validate_tau(tau)
-    if not graph.has_node(node):
-        raise NodeNotFoundError(node)
 
-    neighborhood = set(graph.neighbors(node)) | {node}
-    sub = graph.induced_subgraph(neighborhood)
-    anchored = topk_core(sub, k, tau, fixed={node})
-    if not anchored:
-        return
-    core_sub = sub.induced_subgraph(anchored.nodes)
-    for clique in maximal_cliques(core_sub, k, tau, pruning="none"):
-        if node in clique:
-            yield clique
+    ``engine`` selects the search core for the inner enumeration and
+    ``jobs`` its worker-process count, with the same contract as
+    :func:`repro.core.enumeration.maximal_cliques` (any combination
+    yields bit-identical cliques in identical order).
+    """
+    return PreparedGraph(graph).cliques_containing(
+        node, k, tau, engine=engine, jobs=jobs
+    )
 
 
 def is_extendable(
     graph: UncertainGraph,
     nodes: Iterable[Node],
     tau: float,
+    engine: Engine = "bitset",
+    jobs: int | None = 1,
 ) -> bool:
     """Whether some single node can extend ``nodes`` to a larger
-    tau-clique (the complement of the maximality condition)."""
-    tau = validate_tau(tau)
-    members = list(dict.fromkeys(nodes))
-    if not members:
-        return graph.num_nodes > 0
-    if not is_clique(graph, members):
-        return False
-    base = clique_probability(graph, members)
-    member_set = set(members)
-    for v in graph.neighbors(members[0]):
-        if v in member_set:
-            continue
-        extension = base
-        incident = graph.incident(v)
-        for u in members:
-            p = incident.get(u)
-            if p is None:
-                extension = 0.0
-                break
-            extension *= p
-        if extension and prob_at_least(extension, tau):
-            return True
-    return False
+    tau-clique (the complement of the maximality condition).
+
+    ``engine`` / ``jobs`` are accepted for query-API symmetry and
+    validated, but unused: this query is a neighborhood scan with no
+    search phase to configure.
+    """
+    return PreparedGraph(graph).is_extendable(
+        nodes, tau, engine=engine, jobs=jobs
+    )
 
 
 def containing_clique_exists(
@@ -95,37 +82,17 @@ def containing_clique_exists(
     nodes: Iterable[Node],
     k: int,
     tau: float,
+    engine: Engine = "bitset",
+    jobs: int | None = 1,
 ) -> bool:
     """Whether some maximal (k, tau)-clique contains all of ``nodes``.
 
     Equivalent to: ``nodes`` is a tau-clique and can be grown (possibly
     by zero steps) to size above ``k`` while keeping ``CPr >= tau``.
-    Decided by an anchored search on the common neighborhood.
+    Decided by an anchored search on the common neighborhood, with
+    ``engine`` / ``jobs`` configuring that search exactly as on
+    :func:`repro.core.enumeration.maximal_cliques`.
     """
-    validate_k(k)
-    tau = validate_tau(tau)
-    members = list(dict.fromkeys(nodes))
-    if not members:
-        return False
-    if not is_clique(graph, members):
-        return False
-    if not prob_at_least(clique_probability(graph, members), tau):
-        return False
-    if len(members) > k:
-        return True  # already a (k, tau)-clique; some maximal one holds it
-
-    # Grow within the common neighborhood of the anchor set.
-    common = set(graph.neighbors(members[0]))
-    for u in members[1:]:
-        common &= set(graph.neighbors(u))
-    region = common | set(members)
-    sub = graph.induced_subgraph(region)
-    anchored = topk_core(sub, k, tau, fixed=set(members))
-    if not anchored:
-        return False
-    core_sub = sub.induced_subgraph(anchored.nodes)
-    member_set = set(members)
-    for clique in maximal_cliques(core_sub, k, tau, pruning="none"):
-        if member_set <= clique:
-            return True
-    return False
+    return PreparedGraph(graph).containing_clique_exists(
+        nodes, k, tau, engine=engine, jobs=jobs
+    )

@@ -1,0 +1,620 @@
+"""The :class:`PreparedGraph` query session: memoized pipeline stages.
+
+Interactive workloads ask many questions of one slowly-changing graph —
+"enumerate at (4, 0.2)", "now the maximum at (4, 0.2)", "which cliques
+contain this node?", "and after this edge update?".  The monolithic free
+functions re-peel, re-cut and re-compile from scratch on every call even
+though those stages depend only on ``(graph, k, tau, flags)``.
+
+A :class:`PreparedGraph` wraps one :class:`~repro.uncertain.graph.
+UncertainGraph` and routes every query through the staged pipeline of
+:mod:`repro.core.pipeline`, memoizing each stage artifact in a bounded
+LRU keyed by::
+
+    (graph.version, stage, rule/flags, k, tau, ...)
+
+``graph.version`` is the monotone mutation counter every
+:class:`UncertainGraph` mutator bumps — so a mutation invalidates the
+whole cache *by construction*: stale entries can never be looked up
+again, and they age out of the LRU (or go at once via
+:meth:`purge_stale`).
+
+What makes replaying artifacts sound:
+
+* artifacts are **pure data** (survivor tuples, component subgraphs,
+  compiled CSR bundles, color tables) with no counters and no wall
+  clocks; all stats accrue in the search stage, which runs on every
+  call — so a warm call fills its stats object bit-identically to cold;
+* survivor tuples are **order-normalized** to the graph's iteration
+  order by the prune stage, and ``induced_subgraph`` preserves argument
+  order, so a cached prune artifact reproduces the cold run's component
+  order exactly, whichever engine computed it;
+* **core monotonicity** is exploited across entries: for ``k >= k'`` and
+  ``tau >= tau'`` every (k, tau)-core is contained in the (k', tau')-core
+  (the membership condition only tightens), and by Corollary 1 the
+  (Top_k, tau)-core is contained in the (k, tau)-core.  Peeling the
+  induced subgraph of *any* cached superset reaches the same unique
+  fixpoint as peeling the whole graph — the verified peels recheck every
+  survivor with set-determined, division-free computations — so a cached
+  core seeds the peel for harder parameters without changing the result.
+
+The :class:`~repro.core.maintenance.KTauCoreMaintainer` integrates from
+the other side: constructed over a session it mutates the session's
+graph (bumping the version) and immediately re-publishes its
+incrementally-maintained core at the new version via :meth:`PreparedGraph.
+store_core`, so the next query's prune stage is already warm.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import AbstractSet, Any, Iterable, Iterator
+
+from repro.core import enumeration as _enumeration_mod
+from repro.core import pipeline
+from repro.core.enumeration import Engine, EnumerationStats, PruningRule
+from repro.core.maximum import MaximumSearchStats
+from repro.core.parallel import resolve_jobs
+from repro.core.topk_core import topk_core
+from repro.errors import NodeNotFoundError
+from repro.uncertain.clique_prob import clique_probability, is_clique
+from repro.uncertain.graph import Node, UncertainGraph
+from repro.utils.validation import (
+    prob_at_least,
+    threshold_floor,
+    validate_k,
+    validate_tau,
+)
+
+__all__ = ["PreparedGraph", "SessionCacheStats"]
+
+
+#: Cache-miss sentinel (``None`` is a legitimate cached value: a dead
+#: anchored query caches ``None`` so the repeat stays O(pre-checks)).
+_MISSING: Any = object()
+
+#: Default LRU bound: stage artifacts can hold component subgraphs and
+#: compiled CSR bundles, so the cache is bounded by entry *count* and
+#: sized for a handful of (k, tau) working sets, not unbounded history.
+_DEFAULT_MAX_ENTRIES = 32
+
+
+@dataclass
+class SessionCacheStats:
+    """Hit/miss/eviction accounting for one :class:`PreparedGraph`.
+
+    One lookup against the LRU counts exactly one hit or one miss; a
+    query may perform several stage lookups (prune, cut, compile, ...).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over total lookups (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PreparedGraph:
+    """A query session over one uncertain graph with memoized stages.
+
+    The session *shares* the caller's graph object (no copy): mutate it
+    freely between queries — every mutator bumps
+    :attr:`~repro.uncertain.graph.UncertainGraph.version`, and cache
+    keys embed the version, so stale artifacts are unreachable.
+
+    Example::
+
+        session = PreparedGraph(graph)
+        cold = list(session.maximal_cliques(4, 0.2))
+        warm = list(session.maximal_cliques(4, 0.2))   # prune/cut/compile cached
+        assert cold == warm
+        session.graph.add_edge("a", "z", 0.9)          # bumps version
+        fresh = list(session.maximal_cliques(4, 0.2))  # recomputed
+
+    All query methods are drop-in equivalents of the module-level free
+    functions (which are now one-shot wrappers over this class): same
+    parameters, same outputs, same yield order, same stats counters.
+    """
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        max_entries: int = _DEFAULT_MAX_ENTRIES,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self._graph = graph
+        self._cache: OrderedDict[tuple[Any, ...], Any] = OrderedDict()
+        self._max_entries = max_entries
+        self.cache_stats = SessionCacheStats()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self) -> UncertainGraph:
+        """The live underlying graph (shared, not a copy)."""
+        return self._graph
+
+    @property
+    def version(self) -> int:
+        """The graph's current mutation counter."""
+        return self._graph.version
+
+    def cache_info(self) -> dict[str, int | float]:
+        """Cache shape and accounting as a plain dict (for benchmarks)."""
+        return {
+            "entries": len(self._cache),
+            "max_entries": self._max_entries,
+            "hits": self.cache_stats.hits,
+            "misses": self.cache_stats.misses,
+            "evictions": self.cache_stats.evictions,
+            "hit_rate": self.cache_stats.hit_rate,
+        }
+
+    def purge_stale(self) -> int:
+        """Drop entries keyed at superseded versions; return the count.
+
+        Purging is optional — stale keys can never be looked up again —
+        but frees their memory eagerly instead of waiting for LRU churn.
+        """
+        version = self._graph.version
+        stale = [key for key in self._cache if key[0] != version]
+        for key in stale:
+            del self._cache[key]
+        return len(stale)
+
+    # ------------------------------------------------------------------
+    # LRU internals
+    # ------------------------------------------------------------------
+
+    def _lookup(self, key: tuple[Any, ...]) -> Any:
+        value = self._cache.get(key, _MISSING)
+        if value is _MISSING:
+            self.cache_stats.misses += 1
+            return _MISSING
+        self._cache.move_to_end(key)
+        self.cache_stats.hits += 1
+        return value
+
+    def _store(self, key: tuple[Any, ...], value: Any) -> None:
+        self._cache[key] = value
+        self._cache.move_to_end(key)
+        while len(self._cache) > self._max_entries:
+            self._cache.popitem(last=False)
+            self.cache_stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Stage resolution
+    # ------------------------------------------------------------------
+
+    def _survivors(
+        self,
+        version: int,
+        pruning: PruningRule,
+        k: int,
+        tau: float,
+        engine: Engine,
+    ) -> tuple[Node, ...]:
+        """The prune-stage artifact, cached and monotone-seeded.
+
+        The key deliberately omits ``engine``: both peel implementations
+        reach the same unique fixpoint set (pinned by the kernel-parity
+        suite), and the artifact is order-normalized, so the entry is
+        shared across engines.
+        """
+        if pruning == "none":
+            return tuple(self._graph.nodes())
+        key = (version, "prune", pruning, k, tau)
+        cached = self._lookup(key)
+        if cached is not _MISSING:
+            return cached  # type: ignore[no-any-return]
+        seed = self._monotone_seed(version, pruning, k, tau)
+        if seed is not None and len(seed) < self._graph.num_nodes:
+            # Peel only the cached superset: seed tuples are in graph
+            # iteration order, induced_subgraph preserves that order, and
+            # prune_stage re-normalizes against the sub-order — which is
+            # the graph order restricted — so the artifact is identical
+            # to an unseeded cold peel.
+            base = self._graph.induced_subgraph(seed)
+        else:
+            base = self._graph
+        survivors = pipeline.prune_stage(base, k, tau, pruning, engine)
+        self._store(key, survivors)
+        return survivors
+
+    def _monotone_seed(
+        self,
+        version: int,
+        pruning: PruningRule,
+        k: int,
+        tau: float,
+    ) -> tuple[Node, ...] | None:
+        """Smallest cached core that provably contains core(k, tau).
+
+        Core monotonicity: for ``k2 <= k`` and ``tau2 <= tau`` the
+        (k, tau)-core is contained in the (k2, tau2)-core (the membership
+        condition only tightens as either parameter grows, and
+        ``threshold_floor`` is increasing in tau), and by Corollary 1 the
+        (Top_k, tau)-core is contained in the (k, tau)-core — so a
+        ``ktau`` entry can seed a ``topk`` peel, but not vice versa.
+        The scan is over at most ``max_entries`` keys, far cheaper than
+        any peel it saves.
+        """
+        best: tuple[Node, ...] | None = None
+        for key, value in self._cache.items():
+            if key[0] != version or key[1] != "prune":
+                continue
+            _, _, rule2, k2, tau2 = key
+            # Cache-key comparison, not a survival-probability check: the
+            # keys store caller-supplied tau values verbatim.
+            if k2 > k or tau2 > tau:  # repro-lint: ignore[RPL001]
+                continue
+            if pruning == "ktau" and rule2 != "ktau":
+                continue
+            if best is None or len(value) < len(best):
+                best = value
+        return best
+
+    def _cut_artifact(
+        self,
+        version: int,
+        pruning: PruningRule,
+        cut: bool,
+        k: int,
+        tau: float,
+        engine: Engine,
+        timings: Any,
+    ) -> pipeline.CutArtifact:
+        """The cut-stage artifact (components + pre-search counters).
+
+        The key is shared between enumeration and maximum queries with
+        the same ``(pruning, cut, k, tau)`` — the cut stage is identical
+        for both.  Phase laps are recorded only when work actually runs.
+        """
+        key = (version, "cut", pruning, cut, k, tau)
+        art = self._lookup(key)
+        if art is not _MISSING:
+            return art  # type: ignore[no-any-return]
+        with timings.lap("prune"):
+            survivors = self._survivors(version, pruning, k, tau, engine)
+            pruned = self._graph.induced_subgraph(survivors)
+        with timings.lap("cut"):
+            art = pipeline.cut_stage(pruned, k, tau, cut, len(survivors))
+        self._store(key, art)
+        return art
+
+    # ------------------------------------------------------------------
+    # Maintainer integration
+    # ------------------------------------------------------------------
+
+    def store_core(
+        self,
+        rule: PruningRule,
+        k: int,
+        tau: float,
+        core: AbstractSet[Node],
+    ) -> None:
+        """Patch the prune cache at the *current* version with ``core``.
+
+        Hook for :class:`~repro.core.maintenance.KTauCoreMaintainer`:
+        after mutating the session's graph (which bumped the version and
+        orphaned every cached artifact) the maintainer republishes its
+        incrementally-updated core here, so the next query at these
+        parameters skips the from-scratch peel.  The set is
+        order-normalized exactly like a computed artifact.  Neither a
+        hit nor a miss is counted.
+        """
+        if rule not in ("topk", "ktau"):
+            raise ValueError(f"cannot store a core for rule {rule!r}")
+        validate_k(k)
+        tau = validate_tau(tau)
+        key = (self._graph.version, "prune", rule, k, tau)
+        self._store(key, tuple(u for u in self._graph if u in core))
+
+    # ------------------------------------------------------------------
+    # Queries: enumeration
+    # ------------------------------------------------------------------
+
+    def maximal_cliques(
+        self,
+        k: int,
+        tau: float,
+        pruning: PruningRule = "topk",
+        cut: bool = True,
+        insearch: bool = True,
+        stats: EnumerationStats | None = None,
+        engine: Engine = "bitset",
+        jobs: int | None = 1,
+    ) -> Iterator[frozenset[Node]]:
+        """Enumerate all maximal (k, tau)-cliques (session-cached).
+
+        Drop-in equivalent of :func:`repro.core.enumeration.
+        maximal_cliques` — same parameters, cliques, yield order, and
+        stats counters — with the prune / cut / compile artifacts served
+        from the session cache when the graph version and parameters
+        match.  A generator: nothing happens until the first ``next()``.
+        """
+        validate_k(k)
+        tau = validate_tau(tau)
+        if pruning not in ("topk", "ktau", "none"):
+            raise ValueError(f"unknown pruning rule {pruning!r}")
+        if engine not in ("bitset", "legacy"):
+            raise ValueError(f"unknown engine {engine!r}")
+        stats = stats if stats is not None else EnumerationStats()
+        min_size = k + 1
+        version = self._graph.version
+        # Read from the enumeration module at call time: tests monkeypatch
+        # both the in-search gate and the kernel size limit there.
+        insearch_min_candidates = _enumeration_mod._INSEARCH_MIN_CANDIDATES
+        component_limit = _enumeration_mod.KERNEL_COMPONENT_LIMIT
+
+        art = self._cut_artifact(
+            version, pruning, cut, k, tau, engine, stats.timings
+        )
+        stats.nodes_after_pruning = art.nodes_after_pruning
+        stats.cuts_found = art.cuts_found
+        stats.cut_edges_removed = art.edges_removed
+        stats.components = len(art.components)
+
+        # All threshold checks in the hot search loop use the pre-computed
+        # tolerant floor (see repro.utils.validation) instead of calling
+        # prob_at_least per edge.
+        tau_floor = threshold_floor(tau)
+
+        compiled: tuple[Any, ...] | None = None
+        n_jobs = 1
+        if engine == "bitset":
+            n_jobs = resolve_jobs(jobs)
+            ckey = (
+                version, "compile", pruning, cut, k, tau, component_limit,
+            )
+            compiled = self._lookup(ckey)
+            if compiled is _MISSING:
+                with stats.timings.lap("compile"):
+                    compiled = pipeline.compile_enumeration_stage(
+                        art.components, min_size, component_limit
+                    )
+                self._store(ckey, compiled)
+
+        yield from pipeline.enumeration_search_stage(
+            art.components, compiled, k, tau_floor, min_size, insearch,
+            insearch_min_candidates, engine, n_jobs, component_limit,
+            stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries: maximum
+    # ------------------------------------------------------------------
+
+    def max_uc_plus(
+        self,
+        k: int,
+        tau: float,
+        stats: MaximumSearchStats | None = None,
+        use_advanced_one: bool = True,
+        use_advanced_two: bool = True,
+        insearch: bool = True,
+        engine: Engine = "bitset",
+        jobs: int | None = 1,
+    ) -> frozenset[Node] | None:
+        """Maximum (k, tau)-clique via MaxUC+ (session-cached).
+
+        Drop-in equivalent of :func:`repro.core.maximum.max_uc_plus`.
+        The cut artifact is shared with enumeration queries at the same
+        ``(k, tau)`` (both use the ``topk`` rule with the cut
+        optimization); the compile artifact is maximum-specific because
+        it bundles the color arrays the branch-and-bound bounds need.
+
+        Unlike enumeration (which visits every component), the maximum
+        search skips components the evolving incumbent already dominates,
+        so compiling everything up front would do work the search never
+        uses.  The cached artifact is therefore a *memo dict* the search
+        stage fills on demand: cold runs compile exactly what the
+        incumbent chain reaches (matching the historical driver), warm
+        runs reuse those entries, and determinism of the search makes the
+        filled set identical run to run.
+        """
+        validate_k(k)
+        tau = validate_tau(tau)
+        if engine not in ("bitset", "legacy"):
+            raise ValueError(f"unknown engine {engine!r}")
+        stats = stats if stats is not None else MaximumSearchStats()
+        min_size = k + 1
+        tau_floor = threshold_floor(tau)
+        version = self._graph.version
+
+        art = self._cut_artifact(
+            version, "topk", True, k, tau, engine, stats.timings
+        )
+
+        compiled: dict[int, Any] | None = None
+        colors: dict[int, Any] | None = None
+        n_jobs = 1
+        if engine == "bitset":
+            n_jobs = resolve_jobs(jobs)
+            ckey = (version, "compile_max", k, tau)
+            compiled = self._lookup(ckey)
+            if compiled is _MISSING:
+                compiled = {}
+                self._store(ckey, compiled)
+        else:
+            ckey = (version, "colors_max", k, tau)
+            colors = self._lookup(ckey)
+            if colors is _MISSING:
+                colors = {}
+                self._store(ckey, colors)
+
+        best, best_size = pipeline.maximum_search_stage(
+            art.components, compiled, colors, k, tau, tau_floor, min_size,
+            use_advanced_one, use_advanced_two, insearch, engine, n_jobs,
+            stats,
+        )
+        stats.best_size = best_size if best is not None else 0
+        if best is None or len(best) < min_size:
+            return None
+        return frozenset(best)
+
+    # ------------------------------------------------------------------
+    # Queries: anchored
+    # ------------------------------------------------------------------
+
+    def _anchored_child(
+        self,
+        stage: str,
+        anchor_key: Any,
+        region: Iterable[Node],
+        fixed: set[Node],
+        k: int,
+        tau: float,
+    ) -> "PreparedGraph | None":
+        """Child session over the anchored (Top_k, tau)-core, cached.
+
+        ``None`` is cached for dead anchors (the fixed set cannot survive
+        the peel), so repeats of a negative query cost only the lookup.
+        The child session owns the anchored core subgraph, giving the
+        inner enumeration its own warm cut/compile artifacts.
+        """
+        key = (self._graph.version, stage, anchor_key, k, tau)
+        child = self._lookup(key)
+        if child is not _MISSING:
+            return child  # type: ignore[no-any-return]
+        sub = self._graph.induced_subgraph(region)
+        anchored = topk_core(sub, k, tau, fixed=fixed)
+        if not anchored:
+            child = None
+        else:
+            child = PreparedGraph(sub.induced_subgraph(anchored.nodes))
+        self._store(key, child)
+        return child
+
+    def cliques_containing(
+        self,
+        node: Node,
+        k: int,
+        tau: float,
+        engine: Engine = "bitset",
+        jobs: int | None = 1,
+    ) -> Iterator[frozenset[Node]]:
+        """Yield every maximal (k, tau)-clique containing ``node``.
+
+        Session-cached equivalent of :func:`repro.core.queries.
+        cliques_containing`: the anchored neighborhood core is cached as
+        a child session, so a repeated query skips the neighborhood
+        build and the anchored peel and reuses the child's compiled
+        components.  ``engine`` / ``jobs`` configure the inner
+        enumeration exactly as on :meth:`maximal_cliques`.
+        """
+        validate_k(k)
+        tau = validate_tau(tau)
+        if not self._graph.has_node(node):
+            raise NodeNotFoundError(node)
+
+        # incident() iterates the same keys as neighbors() without the
+        # per-step mutation guard; the region set is identical.
+        region = set(self._graph.incident(node)) | {node}
+        child = self._anchored_child(
+            "anchor_node", node, region, {node}, k, tau
+        )
+        if child is None:
+            return
+        for clique in child.maximal_cliques(
+            k, tau, pruning="none", engine=engine, jobs=jobs
+        ):
+            if node in clique:
+                yield clique
+
+    def is_extendable(
+        self,
+        nodes: Iterable[Node],
+        tau: float,
+        engine: Engine = "bitset",
+        jobs: int | None = 1,
+    ) -> bool:
+        """Whether some single node can extend ``nodes`` to a larger
+        tau-clique (the complement of the maximality condition).
+
+        ``engine`` / ``jobs`` are accepted for query-API symmetry and
+        validated, but unused: this query is a neighborhood scan with no
+        search phase to configure.
+        """
+        tau = validate_tau(tau)
+        if engine not in ("bitset", "legacy"):
+            raise ValueError(f"unknown engine {engine!r}")
+        resolve_jobs(jobs)
+        members = list(dict.fromkeys(nodes))
+        if not members:
+            return self._graph.num_nodes > 0
+        if not is_clique(self._graph, members):
+            return False
+        base = clique_probability(self._graph, members)
+        member_set = set(members)
+        for v in self._graph.incident(members[0]):
+            if v in member_set:
+                continue
+            extension = base
+            incident = self._graph.incident(v)
+            for u in members:
+                p = incident.get(u)
+                if p is None:
+                    extension = 0.0
+                    break
+                extension *= p
+            if extension and prob_at_least(extension, tau):
+                return True
+        return False
+
+    def containing_clique_exists(
+        self,
+        nodes: Iterable[Node],
+        k: int,
+        tau: float,
+        engine: Engine = "bitset",
+        jobs: int | None = 1,
+    ) -> bool:
+        """Whether some maximal (k, tau)-clique contains all of ``nodes``.
+
+        Session-cached equivalent of :func:`repro.core.queries.
+        containing_clique_exists`: the cheap pre-checks always run
+        against the live graph; the anchored common-neighborhood core is
+        cached as a child session keyed by the (frozen) member set.
+        """
+        validate_k(k)
+        tau = validate_tau(tau)
+        members = list(dict.fromkeys(nodes))
+        if not members:
+            return False
+        if not is_clique(self._graph, members):
+            return False
+        if not prob_at_least(
+            clique_probability(self._graph, members), tau
+        ):
+            return False
+        if len(members) > k:
+            return True  # already a (k, tau)-clique; some maximal one holds it
+
+        # Grow within the common neighborhood of the anchor set.
+        common = set(self._graph.incident(members[0]))
+        for u in members[1:]:
+            common &= set(self._graph.incident(u))
+        region = common | set(members)
+        member_set = set(members)
+        child = self._anchored_child(
+            "anchor_set", frozenset(members), region, member_set, k, tau
+        )
+        if child is None:
+            return False
+        for clique in child.maximal_cliques(
+            k, tau, pruning="none", engine=engine, jobs=jobs
+        ):
+            if member_set <= clique:
+                return True
+        return False

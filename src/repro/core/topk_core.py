@@ -106,8 +106,10 @@ def topk_core(
             return 1.0
         return math.prod(values[-k:])
 
+    # incident() keys = neighbors, minus the guarded-iterator overhead;
+    # this peel reads the caller's graph and never mutates it.
     alive: dict[Node, set[Node]] = {
-        u: set(graph.neighbors(u)) for u in graph
+        u: set(graph.incident(u)) for u in graph
     }
     queue: deque[Node] = deque()
     queued: set[Node] = set()

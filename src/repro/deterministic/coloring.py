@@ -28,7 +28,7 @@ def greedy_coloring(
         order = sorted(graph.nodes(), key=graph.degree, reverse=True)
     colors: dict[Node, int] = {}
     for u in order:
-        taken = {colors[v] for v in graph.neighbors(u) if v in colors}
+        taken = {colors[v] for v in graph.incident(u) if v in colors}
         color = 0
         while color in taken:
             color += 1

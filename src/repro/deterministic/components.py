@@ -25,7 +25,10 @@ def connected_components(graph: UncertainGraph) -> list[set[Node]]:
         queue = deque([start])
         while queue:
             u = queue.popleft()
-            for v in graph.neighbors(u):
+            # incident() iterates the same keys as neighbors() without the
+            # per-step mutation guard — this BFS is on the critical path
+            # of every search and never mutates the graph.
+            for v in graph.incident(u):
                 if v not in seen:
                     seen.add(v)
                     component.add(v)

@@ -55,7 +55,7 @@ def _core_decomposition(
         core[u] = current
         order.append(u)
         removed.add(u)
-        for v in graph.neighbors(u):
+        for v in graph.incident(u):
             if v in removed:
                 continue
             remaining[v] -= 1

@@ -11,6 +11,7 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "GraphError",
+    "GraphMutationError",
     "NodeNotFoundError",
     "EdgeNotFoundError",
     "InvalidProbabilityError",
@@ -26,6 +27,16 @@ class ReproError(Exception):
 
 class GraphError(ReproError):
     """A structural problem with a graph (duplicate edge, self loop, ...)."""
+
+
+class GraphMutationError(GraphError, RuntimeError):
+    """The graph was mutated while an iterator over it was live.
+
+    Raised by the guarded iterators (``neighbors()`` / ``edges()``) when a
+    mutator bumps the graph's version counter mid-iteration.  Catching the
+    stale traversal here keeps it from surfacing later as a silently wrong
+    core or cached pipeline artifact.
+    """
 
 
 class NodeNotFoundError(GraphError, KeyError):

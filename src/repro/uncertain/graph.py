@@ -16,13 +16,26 @@ Design notes
   Bron-Kerbosch) assumes simple graphs.
 * Mutators keep both endpoints' adjacency entries in sync, so the invariant
   ``v in adj[u] <=> u in adj[v]`` (with equal probability) always holds.
+* Every mutator bumps a monotone :attr:`version` counter.  The pipeline
+  session layer (:mod:`repro.core.session`) keys its memoized stage
+  artifacts on it, and the iterator methods (:meth:`neighbors`,
+  :meth:`edges`) use it as a tripwire: mutating the graph while one of
+  those iterators is live raises :class:`~repro.errors.GraphMutationError`
+  instead of silently traversing stale structure.  ``incident()`` stays an
+  unguarded view — it is the hot path of every DP, and its callers follow
+  the copy-before-mutate convention enforced by repro-lint RPL004.
 """
 
 from __future__ import annotations
 
 from typing import Hashable, Iterable, Iterator, Mapping
 
-from repro.errors import EdgeNotFoundError, GraphError, NodeNotFoundError
+from repro.errors import (
+    EdgeNotFoundError,
+    GraphError,
+    GraphMutationError,
+    NodeNotFoundError,
+)
 from repro.utils.validation import validate_probability
 
 Node = Hashable
@@ -42,7 +55,7 @@ class UncertainGraph:
         sorted(g.neighbors("b"))     # ["a", "c"]
     """
 
-    __slots__ = ("_adj", "_num_edges")
+    __slots__ = ("_adj", "_num_edges", "_version")
 
     def __init__(
         self,
@@ -55,6 +68,7 @@ class UncertainGraph:
         """
         self._adj: dict[Node, dict[Node, float]] = {}
         self._num_edges = 0
+        self._version = 0
         if nodes is not None:
             for node in nodes:
                 self.add_node(node)
@@ -75,6 +89,18 @@ class UncertainGraph:
     def num_edges(self) -> int:
         """``m = |E|``."""
         return self._num_edges
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter: bumped by every structural change.
+
+        Two reads returning the same value guarantee the graph was not
+        mutated in between, which is what the session cache keys on and
+        what the guarded iterators check.  Derived graphs (``copy()``,
+        ``induced_subgraph()``) inherit the source's current version, so a
+        snapshot can be correlated with the graph it came from.
+        """
+        return self._version
 
     def __len__(self) -> int:
         return len(self._adj)
@@ -99,10 +125,34 @@ class UncertainGraph:
         """Yield each edge exactly once as ``(u, v, p)``.
 
         The edge is reported from the endpoint that was inserted first.
+        Mutating the graph while the iterator is live raises
+        :class:`~repro.errors.GraphMutationError`.
         """
+        # The version is checked *before* each advance of the underlying
+        # dict iterators, so a concurrent mutation surfaces as the typed
+        # error rather than dict's own "changed size during iteration".
+        expected = self._version
         seen: set[Node] = set()
-        for u, nbrs in self._adj.items():
-            for v, p in nbrs.items():
+        outer = iter(self._adj.items())
+        while True:
+            if self._version != expected:
+                raise GraphMutationError(
+                    "graph mutated during edges() iteration"
+                )
+            try:
+                u, nbrs = next(outer)
+            except StopIteration:
+                return
+            inner = iter(nbrs.items())
+            while True:
+                if self._version != expected:
+                    raise GraphMutationError(
+                        "graph mutated during edges() iteration"
+                    )
+                try:
+                    v, p = next(inner)
+                except StopIteration:
+                    break
                 if v not in seen:
                     yield (u, v, p)
             seen.add(u)
@@ -127,11 +177,35 @@ class UncertainGraph:
             raise EdgeNotFoundError(u, v) from None
 
     def neighbors(self, node: Node) -> Iterator[Node]:
-        """Iterate over the neighbors of ``node``."""
+        """Iterate over the neighbors of ``node``.
+
+        The returned iterator is guarded: mutating the graph before it is
+        exhausted raises :class:`~repro.errors.GraphMutationError` on the
+        next step.  Internal hot loops that need raw speed iterate
+        :meth:`incident` instead (same keys, no guard) — they own their
+        scratch graphs and never interleave mutation with traversal.
+        """
         try:
-            return iter(self._adj[node])
+            nbrs = self._adj[node]
         except KeyError:
             raise NodeNotFoundError(node) from None
+        return self._guarded_iter(nbrs)
+
+    def _guarded_iter(self, nbrs: dict[Node, float]) -> Iterator[Node]:
+        # Check before advancing the dict iterator: a mutation of this
+        # very dict must raise the typed error, not dict's RuntimeError.
+        expected = self._version
+        it = iter(nbrs)
+        while True:
+            if self._version != expected:
+                raise GraphMutationError(
+                    "graph mutated during neighbors() iteration"
+                )
+            try:
+                v = next(it)
+            except StopIteration:
+                return
+            yield v
 
     def incident(self, node: Node) -> Mapping[Node, float]:
         """Read-only view of ``{neighbor: probability}`` for ``node``.
@@ -163,7 +237,9 @@ class UncertainGraph:
 
     def add_node(self, node: Node) -> None:
         """Add an isolated node (no-op if it already exists)."""
-        self._adj.setdefault(node, {})
+        if node not in self._adj:
+            self._adj[node] = {}
+            self._version += 1
 
     def add_edge(self, u: Node, v: Node, p: float) -> None:
         """Add edge ``(u, v)`` with probability ``p`` in ``(0, 1]``.
@@ -183,6 +259,7 @@ class UncertainGraph:
         u_nbrs[v] = p
         v_nbrs[u] = p
         self._num_edges += 1
+        self._version += 1
 
     def set_probability(self, u: Node, v: Node, p: float) -> None:
         """Update the probability of an existing edge."""
@@ -191,6 +268,7 @@ class UncertainGraph:
             raise EdgeNotFoundError(u, v)
         self._adj[u][v] = p
         self._adj[v][u] = p
+        self._version += 1
 
     def remove_edge(self, u: Node, v: Node) -> float:
         """Remove edge ``(u, v)`` and return its probability."""
@@ -200,6 +278,7 @@ class UncertainGraph:
             raise EdgeNotFoundError(u, v) from None
         del self._adj[v][u]
         self._num_edges -= 1
+        self._version += 1
         return p
 
     def remove_node(self, node: Node) -> None:
@@ -211,6 +290,7 @@ class UncertainGraph:
         for v in nbrs:
             del self._adj[v][node]
         self._num_edges -= len(nbrs)
+        self._version += 1
 
     def remove_nodes(self, nodes: Iterable[Node]) -> None:
         """Remove several nodes (each must exist)."""
@@ -222,18 +302,28 @@ class UncertainGraph:
     # ------------------------------------------------------------------
 
     def copy(self) -> "UncertainGraph":
-        """Deep copy (independent adjacency maps)."""
+        """Deep copy (independent adjacency maps).
+
+        The copy inherits the source's current :attr:`version`, so a
+        snapshot stays correlatable with the graph state it captured.
+        """
         clone = UncertainGraph()
         clone._adj = {u: dict(nbrs) for u, nbrs in self._adj.items()}
         clone._num_edges = self._num_edges
+        clone._version = self._version
         return clone
 
     def induced_subgraph(self, nodes: Iterable[Node]) -> "UncertainGraph":
         """The uncertain subgraph induced by ``nodes`` (Section II).
 
-        Unknown nodes raise :class:`NodeNotFoundError`.
+        Unknown nodes raise :class:`NodeNotFoundError`.  Node insertion
+        order in the subgraph follows the order of ``nodes`` (duplicates
+        collapse to their first occurrence) — the session layer passes
+        graph-ordered tuples here so a cached survivor set reproduces the
+        cold run's component order exactly.  The subgraph inherits the
+        source's current :attr:`version`.
         """
-        keep = set(nodes)
+        keep = dict.fromkeys(nodes)
         for node in keep:
             if node not in self._adj:
                 raise NodeNotFoundError(node)
@@ -243,6 +333,7 @@ class UncertainGraph:
             for u in keep
         }
         sub._num_edges = sum(len(nbrs) for nbrs in sub._adj.values()) // 2
+        sub._version = self._version
         return sub
 
     def deterministic_edges(self) -> Iterator[tuple[Node, Node]]:

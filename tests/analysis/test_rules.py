@@ -454,6 +454,77 @@ class TestSwallowedError:
 
 
 # ----------------------------------------------------------------------
+# RPL007: pipeline stage calls bypassing the session layer
+# ----------------------------------------------------------------------
+
+class TestStageBypassesSession:
+    def lint_core_file(
+        self, tmp_path: Path, source: str, name: str = "algorithm.py"
+    ) -> list[Finding]:
+        core = tmp_path / "core"
+        core.mkdir(exist_ok=True)
+        path = core / name
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return lint_file(path)
+
+    DIRECT_CALL = """
+        from repro.core.pipeline import prune_stage
+
+        def survivors(graph, k, tau):
+            return prune_stage(graph, k, tau, "topk", "bitset")
+        """
+
+    def test_flags_direct_stage_call_in_core(self, tmp_path: Path) -> None:
+        findings = self.lint_core_file(tmp_path, self.DIRECT_CALL)
+        assert rule_ids(findings) == ["RPL007"]
+        assert "PreparedGraph" in findings[0].message
+
+    def test_flags_attribute_qualified_call(self, tmp_path: Path) -> None:
+        findings = self.lint_core_file(
+            tmp_path,
+            """
+            from repro.core import pipeline
+
+            def artifact(pruned, k, tau):
+                return pipeline.cut_stage(pruned, k, tau, True, 0)
+            """,
+        )
+        assert rule_ids(findings) == ["RPL007"]
+
+    def test_session_and_pipeline_are_sanctioned(self, tmp_path: Path) -> None:
+        for name in ("session.py", "pipeline.py"):
+            findings = self.lint_core_file(tmp_path, self.DIRECT_CALL, name)
+            assert findings == []
+
+    def test_outside_core_is_allowed(self, tmp_path: Path) -> None:
+        findings = lint_source(tmp_path, self.DIRECT_CALL, name="bench.py")
+        assert findings == []
+
+    def test_pragma_silences(self, tmp_path: Path) -> None:
+        findings = self.lint_core_file(
+            tmp_path,
+            """
+            from repro.core.pipeline import prune_stage
+
+            def survivors(graph, k, tau):
+                return prune_stage(graph, k, tau, "topk", "bitset")  # repro-lint: ignore[RPL007]
+            """,
+        )
+        assert findings == []
+
+    def test_shipped_core_tree_respects_layering(self) -> None:
+        from repro.analysis import run_lint
+
+        core = Path(__file__).resolve().parents[2] / "src" / "repro" / "core"
+        findings = [
+            finding
+            for finding in run_lint([core])
+            if finding.rule == "RPL007"
+        ]
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
 # Findings carry usable positions and render as path:line:col
 # ----------------------------------------------------------------------
 
@@ -486,7 +557,7 @@ def test_syntax_error_becomes_parse_finding(tmp_path: Path) -> None:
 
 @pytest.mark.parametrize(
     "rule_id",
-    ["RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006"],
+    ["RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006", "RPL007"],
 )
 def test_every_rule_is_registered(rule_id: str) -> None:
     from repro.analysis import RULES_BY_ID

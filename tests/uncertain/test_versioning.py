@@ -1,0 +1,104 @@
+"""Version counter and mutation-tripwire semantics of UncertainGraph.
+
+The session layer keys every cached artifact by ``graph.version``, so
+these invariants are what make its invalidation sound: every mutator
+bumps the counter, copies carry it forward, and live iterators fail
+loudly when the graph changes under them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import UncertainGraph
+from repro.errors import GraphMutationError
+
+
+def small_graph() -> UncertainGraph:
+    g = UncertainGraph()
+    g.add_edge("a", "b", 0.9)
+    g.add_edge("b", "c", 0.8)
+    g.add_edge("a", "c", 0.5)
+    g.add_edge("c", "d", 0.7)
+    return g
+
+
+class TestVersionCounter:
+    def test_fresh_graph_starts_at_zero(self):
+        assert UncertainGraph().version == 0
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda g: g.add_edge("a", "z", 0.9),
+            lambda g: g.add_node("z"),
+            lambda g: g.remove_edge("a", "b"),
+            lambda g: g.remove_node("d"),
+            lambda g: g.set_probability("a", "b", 0.1),
+            lambda g: g.remove_nodes(["c", "d"]),
+        ],
+        ids=["add_edge", "add_node", "remove_edge", "remove_node",
+             "set_probability", "remove_nodes"],
+    )
+    def test_every_mutator_bumps(self, mutate):
+        g = small_graph()
+        before = g.version
+        mutate(g)
+        assert g.version > before
+
+    def test_add_existing_node_is_a_noop(self):
+        g = small_graph()
+        before = g.version
+        g.add_node("a")
+        assert g.version == before
+
+    def test_copy_carries_version(self):
+        g = small_graph()
+        clone = g.copy()
+        assert clone.version == g.version
+        clone.add_edge("x", "y", 0.5)
+        # Independent counters after the copy.
+        assert clone.version > g.version
+
+    def test_induced_subgraph_carries_version(self):
+        g = small_graph()
+        sub = g.induced_subgraph(["a", "b", "c"])
+        assert sub.version == g.version
+
+    def test_induced_subgraph_preserves_argument_order(self):
+        g = small_graph()
+        sub = g.induced_subgraph(["c", "a", "b"])
+        assert list(sub.nodes()) == ["c", "a", "b"]
+
+
+class TestMutationTripwire:
+    def test_neighbors_raises_on_mutation_mid_iteration(self):
+        g = small_graph()
+        it = g.neighbors("a")
+        next(it)
+        g.add_edge("a", "z", 0.9)
+        with pytest.raises(GraphMutationError):
+            next(it)
+
+    def test_edges_raises_on_mutation_mid_iteration(self):
+        g = small_graph()
+        it = g.edges()
+        next(it)
+        g.remove_edge("c", "d")
+        with pytest.raises(GraphMutationError):
+            next(it)
+
+    def test_node_iteration_unaffected_after_completion(self):
+        g = small_graph()
+        nbrs = list(g.neighbors("a"))
+        g.add_edge("a", "z", 0.9)
+        assert nbrs == ["b", "c"]
+
+    def test_incident_snapshot_is_safe(self):
+        # incident() hands out the adjacency dict for read-only hot
+        # loops; materializing it first is the sanctioned pattern when a
+        # mutation might interleave.
+        g = small_graph()
+        snapshot = dict(g.incident("a"))
+        g.add_edge("a", "z", 0.9)
+        assert snapshot == {"b": 0.9, "c": 0.5}
