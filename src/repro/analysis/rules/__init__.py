@@ -9,7 +9,10 @@ from __future__ import annotations
 
 from repro.analysis.rules.base import Rule
 from repro.analysis.rules.errors import SwallowedError
-from repro.analysis.rules.layering import StageBypassesSession
+from repro.analysis.rules.layering import (
+    PruneBypassesSession,
+    StageBypassesSession,
+)
 from repro.analysis.rules.mutation import FrozenGraphMutation
 from repro.analysis.rules.probability import (
     LogLinearMixing,
@@ -25,6 +28,7 @@ __all__ = [
     "get_rules",
     "FrozenGraphMutation",
     "LogLinearMixing",
+    "PruneBypassesSession",
     "RawThresholdCompare",
     "StageBypassesSession",
     "SwallowedError",
@@ -40,6 +44,7 @@ ALL_RULES: tuple[Rule, ...] = (
     LogLinearMixing(),
     SwallowedError(),
     StageBypassesSession(),
+    PruneBypassesSession(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}

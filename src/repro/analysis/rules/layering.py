@@ -1,4 +1,4 @@
-"""Layering rule: RPL007 — stage functions are called through the session.
+"""Layering rules: RPL007/RPL008 — route hot-path work through the session.
 
 The pipeline stages (:mod:`repro.core.pipeline`) are pure functions, and
 nothing stops an algorithm module from calling one directly — but doing
@@ -6,7 +6,13 @@ so silently bypasses the :class:`~repro.core.session.PreparedGraph`
 memoization layer: the artifact gets rebuilt from scratch on every call
 and never lands in (or reads from) the version-keyed cache.  Inside
 ``repro/core`` the session is the only sanctioned caller; everything
-else routes through it.
+else routes through it (RPL007).
+
+The same layering applies one level down to the prune peels themselves:
+since the prune kernel landed, every compiled-engine peel should replay
+over the session's shared CSR compile — a direct ``dp_core*`` /
+``topk_core*`` call inside ``repro/core`` recompiles (or re-peels from
+dicts) on every invocation (RPL008).
 """
 
 from __future__ import annotations
@@ -20,11 +26,12 @@ from repro.analysis.rules.base import Rule
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.analysis.engine import FileContext
 
-__all__ = ["StageBypassesSession"]
+__all__ = ["StageBypassesSession", "PruneBypassesSession"]
 
 #: The pipeline stage functions the session layer memoizes.
 STAGE_FUNCTIONS = frozenset(
     {
+        "compile_prune_stage",
         "prune_stage",
         "cut_stage",
         "compile_enumeration_stage",
@@ -78,4 +85,72 @@ class StageBypassesSession(Rule):
                     f"{name}(...) called directly; route through "
                     "PreparedGraph so the stage artifact is memoized "
                     "against the graph version",
+                )
+
+
+#: The prune peels the compiled session path serves.
+PRUNE_FUNCTIONS = frozenset(
+    {
+        "dp_core",
+        "dp_core_plus",
+        "topk_core",
+        "topk_core_arrays",
+    }
+)
+
+#: Files allowed to call the peels directly: their definitions, the
+#: kernel they delegate to, the cut optimization's per-component fringe
+#: peel, and the pipeline/session layer that memoizes the results.
+_PRUNE_SANCTIONED_FILES = (
+    "ktau_core.py",
+    "topk_core.py",
+    "prune_kernel.py",
+    "cut_pruning.py",
+    "pipeline.py",
+    "session.py",
+)
+
+
+class PruneBypassesSession(Rule):
+    """RPL008 — a prune peel called outside the compiled session path.
+
+    Flags calls to any :data:`PRUNE_FUNCTIONS` name — bare
+    (``dp_core_plus(...)``) or attribute-qualified
+    (``ktau_core.dp_core_plus(...)``) — in files under ``repro/core``
+    other than the peel definitions, the cut optimization, and the
+    pipeline/session layer.  A direct call recompiles the graph (or runs
+    the legacy dict peel) on every invocation instead of replaying over
+    the session's version-keyed CSR compile; route the peel through
+    :func:`repro.core.pipeline.prune_stage` via
+    :class:`~repro.core.session.PreparedGraph`, or justify the bypass
+    with ``# repro-lint: ignore[RPL008]`` (e.g. one-shot drivers with no
+    session, or transient per-branch subgraphs inside the legacy
+    recursion).
+    """
+
+    rule_id: ClassVar[str] = "RPL008"
+    title: ClassVar[str] = "prune peel call bypassing the compiled session path"
+
+    def check(self, context: "FileContext") -> Iterator[Finding]:
+        if not context.in_directory("core"):
+            return
+        if any(context.is_file(name) for name in _PRUNE_SANCTIONED_FILES):
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                name = func.attr
+            elif isinstance(func, ast.Name):
+                name = func.id
+            else:
+                continue
+            if name in PRUNE_FUNCTIONS:
+                yield self.finding(
+                    context,
+                    node,
+                    f"{name}(...) called directly; route through "
+                    "PreparedGraph's prune stage so the peel replays "
+                    "over the session's shared compiled arrays",
                 )

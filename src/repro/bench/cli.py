@@ -20,8 +20,9 @@ compile / search) recorded by the stats timings.
 
 ``--suite`` selects which benchmarks run: ``engines`` (the default,
 above), ``queries`` (the repeated-query cold-vs-warm session suite of
-:mod:`repro.bench.queries`, written to ``BENCH_queries.json``), or
-``all``.
+:mod:`repro.bench.queries`, written to ``BENCH_queries.json``),
+``prune`` (the prune-kernel arrays-vs-legacy peel suite of
+:mod:`repro.bench.prune`, written to ``BENCH_prune.json``), or ``all``.
 """
 
 from __future__ import annotations
@@ -30,6 +31,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.bench.prune import PruneReport, run_prune_bench
 from repro.bench.queries import QueriesReport, run_queries_bench
 from repro.bench.runner import (
     BenchReport,
@@ -77,11 +79,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--suite",
-        choices=("engines", "queries", "all"),
+        choices=("engines", "queries", "prune", "all"),
         default="engines",
         help=(
             "which benchmarks to run: the engine comparisons (default), "
-            "the repeated-query cold-vs-warm session suite, or both"
+            "the repeated-query cold-vs-warm session suite, the "
+            "prune-kernel arrays-vs-legacy suite, or all of them"
         ),
     )
     parser.add_argument(
@@ -162,6 +165,26 @@ def _print_report(report: BenchReport, verbose: bool) -> None:
                 print(f"    {name}: {phases or '(no phase timings)'}")
 
 
+def _print_prune_report(report: PruneReport) -> None:
+    cpu_count = report.provenance.get("cpu_count")
+    print(
+        f"[{report.benchmark}] peels on {report.dataset} "
+        f"(scale={report.scale}, median of {report.repetitions}, "
+        f"cpu_count={cpu_count}, "
+        f"compile={report.compile_median_s:.3f}s shared per version)"
+    )
+    for op in report.ops:
+        legacy = op.engines["legacy"].median_s
+        arrays = op.engines["arrays"].median_s
+        flag = "" if op.identical_output else "  OUTPUT MISMATCH"
+        print(
+            f"  {op.op} k={op.k} tau={op.tau}: legacy={legacy:.3f}s "
+            f"arrays={arrays:.3f}s speedup={op.speedup:.2f}x "
+            f"({op.survivors} survivors){flag}"
+        )
+    print(f"  min headline speedup: {report.min_headline_speedup():.2f}x")
+
+
 def _print_queries_report(report: QueriesReport) -> None:
     cache = report.provenance.get("session_cache")
     print(
@@ -205,6 +228,20 @@ def main(argv: list[str] | None = None) -> int:
                     f"{report.benchmark}: bitset {worst:.2f}x the legacy "
                     f"median somewhere (tolerance {1.0 + args.tolerance:.2f}x)"
                 )
+
+    if args.suite in ("prune", "all"):
+        prune_report = run_prune_bench(args.dataset, reps, scale)
+        _print_prune_report(prune_report)
+        path = prune_report.write(args.out)
+        print(f"  wrote {path}")
+        if not prune_report.all_identical():
+            failures.append("prune: arrays survivors differ from legacy")
+        worst = prune_report.worst_ratio()
+        if worst > 1.0 + args.tolerance:
+            failures.append(
+                f"prune: arrays {worst:.2f}x the legacy median somewhere "
+                f"(tolerance {1.0 + args.tolerance:.2f}x)"
+            )
 
     if args.suite in ("queries", "all"):
         queries_report = run_queries_bench(args.dataset, reps, scale)

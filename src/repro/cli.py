@@ -36,15 +36,24 @@ __all__ = ["main"]
 Runner = Callable[[argparse.Namespace], ExperimentResult]
 
 
+#: Paper-terminology aliases resolved to figure names before dispatch
+#: (kept out of the runners dict so ``all`` does not run them twice).
+_ALIASES = {"dpcore": "fig2", "pruning": "fig4"}
+
+
 def _runners() -> dict[str, Runner]:
     """Experiment name -> runner accepting the parsed CLI options."""
     return {
         "table1": lambda opts: run_table1(scale=opts.scale),
-        "fig2": lambda opts: run_fig2(scale=opts.scale),
+        "fig2": lambda opts: run_fig2(
+            scale=opts.scale, engine=opts.prune_engine
+        ),
         "fig3": lambda opts: run_fig3(
             scale=opts.scale, include_baseline=not opts.no_baselines
         ),
-        "fig4": lambda opts: run_fig4(scale=opts.scale),
+        "fig4": lambda opts: run_fig4(
+            scale=opts.scale, engine=opts.prune_engine
+        ),
         "fig5": lambda opts: run_fig5(
             scale=opts.scale, include_baselines=not opts.no_baselines
         ),
@@ -190,15 +199,19 @@ def _build_parser(runners: dict[str, Runner]) -> argparse.ArgumentParser:
             "mine user graphs, or export synthetic datasets"
         ),
     )
-    subcommands = [*runners, "all", "list", "mine", "query", "dataset", "report"]
+    subcommands = [
+        *runners, *_ALIASES,
+        "all", "list", "mine", "query", "dataset", "report",
+    ]
     parser.add_argument(
         "experiment",
         choices=subcommands,
         metavar="command",
         help=(
-            "an experiment name (see 'list'), 'all', 'mine' (clique "
-            "search on an edge list), 'query' (anchored clique questions "
-            "on an edge list) or 'dataset' (export a synthetic dataset)"
+            "an experiment name (see 'list'; 'dpcore' and 'pruning' are "
+            "aliases for fig2 and fig4), 'all', 'mine' (clique search on "
+            "an edge list), 'query' (anchored clique questions on an "
+            "edge list) or 'dataset' (export a synthetic dataset)"
         ),
     )
     parser.add_argument(
@@ -247,7 +260,21 @@ def _build_parser(runners: dict[str, Runner]) -> argparse.ArgumentParser:
         "--engine",
         choices=("bitset", "legacy"),
         default="bitset",
-        help="search engine for the query command (default bitset)",
+        help=(
+            "search engine for the query command (default bitset; "
+            "bitset also routes pruning through the compiled arrays "
+            "kernel)"
+        ),
+    )
+    parser.add_argument(
+        "--prune-engine",
+        choices=("arrays", "legacy"),
+        default="arrays",
+        help=(
+            "prune-peel engine for the dpcore/pruning experiments "
+            "(default arrays: the compiled flat-CSR kernel, one "
+            "lowering shared per dataset)"
+        ),
     )
     parser.add_argument(
         "--query",
@@ -287,6 +314,7 @@ def main(argv: list[str] | None = None) -> int:
     runners = _runners()
     parser = _build_parser(runners)
     opts = parser.parse_args(argv)
+    opts.experiment = _ALIASES.get(opts.experiment, opts.experiment)
 
     if opts.jobs is not None:
         # The experiment runners call the search drivers with their

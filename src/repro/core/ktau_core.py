@@ -35,10 +35,17 @@ one fresh rebuild per peeled node plus one sweep per round.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.deterministic.core_decomposition import core_numbers
 from repro.uncertain.graph import Node, UncertainGraph
+from repro.core.prune_kernel import (
+    CompiledPruneGraph,
+    PruneEngine,
+    compile_prune_graph,
+    distribution_peel,
+    survival_peel,
+)
 from repro.core.tau_degree import (
     distribution_prefix,
     remove_edge_from_survival,
@@ -115,7 +122,22 @@ def _peel(
             return set(work.nodes())
 
 
-def dp_core(graph: UncertainGraph, k: int, tau: float) -> set[Node]:
+def _require_no_members(members: Iterable[Node] | None) -> None:
+    """The legacy peels own their scratch graphs and cannot restrict to a
+    member subset — the session layer builds an induced subgraph for them
+    instead, so ``members=`` is an arrays-only parameter."""
+    if members is not None:
+        raise ValueError("members= requires engine='arrays'")
+
+
+def dp_core(
+    graph: UncertainGraph,
+    k: int,
+    tau: float,
+    engine: PruneEngine = "arrays",
+    compiled: CompiledPruneGraph | None = None,
+    members: Iterable[Node] | None = None,
+) -> set[Node]:
     """The (k, tau)-core via the state-of-the-art DP peeling of [16].
 
     Per-node state is the ``Pr(d = i)`` prefix up to the current
@@ -123,9 +145,22 @@ def dp_core(graph: UncertainGraph, k: int, tau: float) -> set[Node]:
     updated on edge deletion with Eq. (4) — the bookkeeping Bonchi et al.
     describe, giving the ``O(m * d_max)`` total the paper quotes.
 
+    ``engine="arrays"`` (the default) runs the same verified peel over a
+    flat compiled form of the graph
+    (:func:`repro.core.prune_kernel.distribution_peel`); ``compiled``
+    supplies a prebuilt :class:`CompiledPruneGraph` (the session layer's
+    shared artifact) and ``members`` restricts the peel to a node subset
+    without building an induced subgraph.  Both engines converge to the
+    same canonical core.
+
     Returns the set of nodes in the core (possibly empty).  The input
     graph is not modified.
     """
+    if engine == "arrays":
+        if compiled is None:
+            compiled = compile_prune_graph(graph)
+        return distribution_peel(compiled, k, tau, members=members)
+    _require_no_members(members)
     validate_k(k)
     tau = validate_tau(tau)
     work = graph.copy()
@@ -139,7 +174,15 @@ def dp_core(graph: UncertainGraph, k: int, tau: float) -> set[Node]:
     return _peel(work, k, tau, fresh, update)
 
 
-def dp_core_plus(graph: UncertainGraph, k: int, tau: float) -> set[Node]:
+def dp_core_plus(
+    graph: UncertainGraph,
+    k: int,
+    tau: float,
+    engine: PruneEngine = "arrays",
+    compiled: CompiledPruneGraph | None = None,
+    members: Iterable[Node] | None = None,
+    core: dict[Node, int] | None = None,
+) -> set[Node]:
     """The (k, tau)-core via Algorithm 2 (``NewDPCore`` / ``DPCore+``).
 
     Three ingredients make this faster than :func:`dp_core`:
@@ -153,15 +196,29 @@ def dp_core_plus(graph: UncertainGraph, k: int, tau: float) -> set[Node]:
     3. survival probabilities are maintained directly (Eqs. 5 and 6), so
        a deletion update touches only ``O(truncated tau-degree)`` entries.
 
-    The peel itself runs over an int-indexed compiled form of the
-    prefiltered graph (:func:`_survival_peel_indexed`) — same verified
-    peeling, same canonical fixpoint as :func:`_peel`, but without a
-    scratch-graph copy or per-edge hashing of node objects.
+    ``engine="arrays"`` (the default) runs the peel over a flat compiled
+    form of the graph (:func:`repro.core.prune_kernel.survival_peel`,
+    which also owns the core-number prefilter via the compiled lazy core
+    decomposition); ``compiled`` supplies a prebuilt
+    :class:`CompiledPruneGraph` and ``members`` restricts the peel to a
+    node subset without building an induced subgraph.  With
+    ``engine="legacy"`` the peel runs over an int-indexed compiled form
+    of the prefiltered graph (:func:`_survival_peel_indexed`) — same
+    verified peeling, same canonical fixpoint as :func:`_peel`, but
+    without a scratch-graph copy or per-edge hashing of node objects;
+    ``core`` may supply precomputed deterministic core numbers (the
+    session layer's memoized artifact) to skip the decomposition.
     """
+    if engine == "arrays":
+        if compiled is None:
+            compiled = compile_prune_graph(graph)
+        return survival_peel(compiled, k, tau, members=members)
+    _require_no_members(members)
     validate_k(k)
     tau = validate_tau(tau)
 
-    core = core_numbers(graph)
+    if core is None:
+        core = core_numbers(graph)
     survivors = {u for u, c in core.items() if c >= k}
     work = graph.induced_subgraph(survivors)
     # Caps never exceed k: the peeling only needs to distinguish "below

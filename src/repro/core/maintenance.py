@@ -81,7 +81,11 @@ class KTauCoreMaintainer:
         else:
             self._session = source
             self._graph = source.graph
-        self._core: set[Node] = dp_core_plus(self._graph, k, tau)
+        # The baseline core is built before any session exists for the
+        # maintained copy; incremental updates take over from here.
+        self._core: set[Node] = dp_core_plus(  # repro-lint: ignore[RPL008]
+            self._graph, k, tau
+        )
         self._publish()
 
     @property

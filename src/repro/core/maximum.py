@@ -358,7 +358,12 @@ def _search_component_legacy(
         if insearch and len(clique) < min_size:
             members = clique + [v for v, _ in candidates]
             sub = component.induced_subgraph(members)
-            core = topk_core(sub, k, tau, fixed=set(clique))
+            # Transient per-branch subgraph inside the legacy recursion:
+            # pinned to the legacy peel so the legacy engine stays
+            # self-contained (no prune-kernel compile per branch).
+            core = topk_core(  # repro-lint: ignore[RPL008]
+                sub, k, tau, fixed=set(clique), engine="legacy"
+            )
             if not core.contains_fixed or len(core.nodes) < min_size:
                 stats.insearch_prunes += 1
                 return

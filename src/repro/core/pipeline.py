@@ -52,12 +52,14 @@ from repro.core.kernel import (
 )
 from repro.core.ktau_core import dp_core_plus
 from repro.core.maximum import MaximumSearchStats, _search_component_legacy
+from repro.core.prune_kernel import CompiledPruneGraph, compile_prune_graph
 from repro.deterministic.coloring import greedy_coloring
 from repro.deterministic.components import component_subgraphs
 from repro.uncertain.graph import Node, UncertainGraph
 
 __all__ = [
     "CutArtifact",
+    "compile_prune_stage",
     "prune_stage",
     "cut_stage",
     "compile_enumeration_stage",
@@ -72,22 +74,44 @@ __all__ = [
 # Stage 1: prune
 # ----------------------------------------------------------------------
 
+def compile_prune_stage(graph: UncertainGraph) -> CompiledPruneGraph:
+    """Lower the graph into the flat CSR form the compiled peels consume.
+
+    Parameter-free (no ``k``, no ``tau``): one compile per graph version
+    serves every prune of every query, which is why the session layer
+    memoizes this artifact under ``(version, "prune_compile")`` and hands
+    it to each :func:`prune_stage` call — including the monotone-seeded
+    peels, which replay over the same arrays via ``members=``.
+    """
+    return compile_prune_graph(graph)
+
+
 def prune_stage(
     graph: UncertainGraph,
     k: int,
     tau: float,
     rule: str,
     engine: str,
+    compiled: CompiledPruneGraph | None = None,
+    members: Sequence[Node] | None = None,
+    core: dict[Node, int] | None = None,
 ) -> tuple[Node, ...]:
     """Core-based preprocessing: the nodes surviving ``rule`` at (k, tau).
 
     ``rule`` is ``"topk"`` ((Top_k, tau)-core, Lemma 4), ``"ktau"``
     ((k, tau)-core via DPCore+, Lemma 1) or ``"none"``.  The survivors are
     returned as a tuple **in the iteration order of ``graph``** — both
-    peels produce the same unique fixpoint *set* whichever engine runs
-    them, and normalizing the order makes the artifact independent of the
-    peel's internal set layout, so a cached artifact reproduces a cold
-    run's downstream component order exactly.
+    peels produce the same unique fixpoint *set* whichever engine peeled
+    or which cached seed the session layer supplied, and normalizing the
+    order makes the artifact independent of the peel's internal set
+    layout, so a cached artifact reproduces a cold run's downstream
+    component order exactly.
+
+    ``compiled`` supplies the :func:`compile_prune_stage` artifact for
+    the compiled (``"bitset"``) engine and ``members`` restricts its peel
+    to a node subset (the session's monotone seed) without building an
+    induced subgraph; ``core`` supplies memoized deterministic core
+    numbers to the legacy ``ktau`` peel.
     """
     # The peels are looked up on the enumeration module at call time:
     # they are its re-exported attributes by contract, and the laziness
@@ -102,14 +126,26 @@ def prune_stage(
         # Same fixpoint either way; the bitset engine uses the compiled
         # array peel so large graphs skip the per-edge hashing/bisects.
         if engine == "bitset":
-            survivors = set(enumeration_mod.topk_core_arrays(graph, k, tau))
+            survivors = set(enumeration_mod.topk_core_arrays(
+                graph, k, tau, compiled=compiled, members=members,
+            ))
         else:
-            survivors = set(enumeration_mod.topk_core(graph, k, tau).nodes)
+            survivors = set(enumeration_mod.topk_core(
+                graph, k, tau, engine="legacy",
+            ).nodes)
     elif rule == "ktau":
-        survivors = dp_core_plus(graph, k, tau)
+        if engine == "bitset":
+            survivors = dp_core_plus(
+                graph, k, tau, engine="arrays",
+                compiled=compiled, members=members,
+            )
+        else:
+            survivors = dp_core_plus(
+                graph, k, tau, engine="legacy", core=core,
+            )
     else:
         raise ValueError(f"unknown pruning rule {rule!r}")
-    if len(survivors) == graph.num_nodes:
+    if members is None and len(survivors) == graph.num_nodes:
         return tuple(graph.nodes())
     return tuple(u for u in graph if u in survivors)
 
@@ -141,15 +177,22 @@ def cut_stage(
     tau: float,
     cut: bool,
     nodes_after_pruning: int,
+    engine: str = "bitset",
 ) -> CutArtifact:
     """Split the pruned graph into search components (Lemma 5).
 
     With ``cut=True`` runs the cut-based optimization; otherwise a plain
     connected-component split.  ``nodes_after_pruning`` is carried through
-    from the prune stage so the artifact is self-contained.
+    from the prune stage so the artifact is self-contained.  ``engine``
+    selects the peel implementation for the cut optimization's fringe
+    stage (``"bitset"`` maps to the compiled arrays peel); both engines
+    find the identical cut set, so the artifact is engine-independent.
     """
     if cut:
-        result = cut_optimize(pruned, k, tau)
+        result = cut_optimize(
+            pruned, k, tau,
+            engine="arrays" if engine == "bitset" else "legacy",
+        )
         return CutArtifact(
             components=tuple(result.components),
             cuts_found=result.cuts_found,

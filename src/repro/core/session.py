@@ -196,6 +196,52 @@ class PreparedGraph:
     # Stage resolution
     # ------------------------------------------------------------------
 
+    def _prune_compiled(self, version: int) -> Any:
+        """The flat-CSR prune compile, cached per graph version.
+
+        Parameter-free: one lowering serves every compiled-engine peel of
+        every query at this version — including the monotone-seeded peels,
+        which replay over the same arrays via ``members=``.
+        """
+        key = (version, "prune_compile")
+        compiled = self._lookup(key)
+        if compiled is _MISSING:
+            compiled = pipeline.compile_prune_stage(self._graph)
+            self._store(key, compiled)
+        return compiled
+
+    def core_numbers(self) -> dict[Node, int]:
+        """Deterministic core numbers of the live graph, session-cached.
+
+        The decomposition depends only on the graph version — the peels
+        of ``tau_degree``/``ktau_core`` historically recomputed it per
+        call — so it is memoized under ``(version, "core_numbers")``,
+        derived from the prune compile's lazy CSR decomposition whenever
+        one exists (sharing work with any compiled peel that already
+        ran).
+        """
+        version = self._graph.version
+        key = (version, "core_numbers")
+        cached = self._lookup(key)
+        if cached is not _MISSING:
+            return cached  # type: ignore[no-any-return]
+        # Derive from the CSR compile only when one already exists (or a
+        # compiled-engine query will build it anyway); a legacy-only
+        # session shouldn't pay a full lowering for a decomposition the
+        # deterministic module computes directly.  A peek, not a lookup:
+        # the accounted lookup above already counted this resolution.
+        compiled = self._cache.get((version, "prune_compile"), _MISSING)
+        if compiled is not _MISSING:
+            core = dict(zip(compiled.nodes, compiled.core_ids()))
+        else:
+            from repro.deterministic.core_decomposition import (
+                core_numbers as _core_numbers,
+            )
+
+            core = _core_numbers(self._graph)
+        self._store(key, core)
+        return core
+
     def _survivors(
         self,
         version: int,
@@ -218,6 +264,21 @@ class PreparedGraph:
         if cached is not _MISSING:
             return cached  # type: ignore[no-any-return]
         seed = self._monotone_seed(version, pruning, k, tau)
+        if engine == "bitset":
+            # Compiled engine: every peel replays over the shared
+            # version-keyed CSR compile; a monotone seed restricts the
+            # peel via members= instead of building an induced subgraph.
+            members = (
+                seed
+                if seed is not None and len(seed) < self._graph.num_nodes
+                else None
+            )
+            survivors = pipeline.prune_stage(
+                self._graph, k, tau, pruning, engine,
+                compiled=self._prune_compiled(version), members=members,
+            )
+            self._store(key, survivors)
+            return survivors
         if seed is not None and len(seed) < self._graph.num_nodes:
             # Peel only the cached superset: seed tuples are in graph
             # iteration order, induced_subgraph preserves that order, and
@@ -225,9 +286,14 @@ class PreparedGraph:
             # the graph order restricted — so the artifact is identical
             # to an unseeded cold peel.
             base = self._graph.induced_subgraph(seed)
+            survivors = pipeline.prune_stage(base, k, tau, pruning, engine)
         else:
-            base = self._graph
-        survivors = pipeline.prune_stage(base, k, tau, pruning, engine)
+            # Unseeded legacy ktau peels reuse the memoized deterministic
+            # core decomposition for their Definition 6 prefilter.
+            core = self.core_numbers() if pruning == "ktau" else None
+            survivors = pipeline.prune_stage(
+                self._graph, k, tau, pruning, engine, core=core
+            )
         self._store(key, survivors)
         return survivors
 
@@ -288,7 +354,9 @@ class PreparedGraph:
             survivors = self._survivors(version, pruning, k, tau, engine)
             pruned = self._graph.induced_subgraph(survivors)
         with timings.lap("cut"):
-            art = pipeline.cut_stage(pruned, k, tau, cut, len(survivors))
+            art = pipeline.cut_stage(
+                pruned, k, tau, cut, len(survivors), engine=engine
+            )
         self._store(key, art)
         return art
 

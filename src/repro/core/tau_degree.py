@@ -15,7 +15,7 @@ that the peeling algorithms in :mod:`repro.core.ktau_core` rely on.
 
 Numerical note: the deletion updates divide by ``1 - p``, which is
 ill-conditioned for ``p`` near 1 and undefined at ``p == 1`` (a legal
-probability).  Above ``_STABLE_P_LIMIT`` the updates signal the caller to
+probability).  Above ``STABLE_P_LIMIT`` the updates signal the caller to
 recompute the node's state from scratch instead — a cheap, rare fallback
 that keeps the fast path exact.
 """
@@ -45,7 +45,6 @@ __all__ = [
 
 #: Deletion updates recompute from scratch for edge probabilities above this.
 STABLE_P_LIMIT = 1.0 - 1e-6
-_STABLE_P_LIMIT = STABLE_P_LIMIT
 
 
 # ----------------------------------------------------------------------
@@ -95,7 +94,7 @@ def remove_edge_from_distribution(
     numerically safe — the caller must then rebuild with
     :func:`degree_distribution_dp` from the surviving edges.
     """
-    if p >= _STABLE_P_LIMIT:
+    if p >= STABLE_P_LIMIT:
         return None
     q = 1.0 - p
     out = [dist[0] / q]
@@ -150,7 +149,7 @@ def update_distribution_prefix(
     ``None`` when ``p`` is too close to 1 (caller rebuilds with
     :func:`distribution_prefix`).
     """
-    if p >= _STABLE_P_LIMIT:
+    if p >= STABLE_P_LIMIT:
         return None
     q = 1.0 - p
     new = [eq[0] / q]
@@ -214,7 +213,7 @@ def remove_edge_from_survival(
     valid up to ``new_tau_degree``, or ``None`` when ``p`` is too close to 1
     (caller rebuilds with :func:`survival_dp`).
     """
-    if p >= _STABLE_P_LIMIT:
+    if p >= STABLE_P_LIMIT:
         return None
     q = 1.0 - p
     new_row = list(row)

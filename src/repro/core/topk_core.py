@@ -19,15 +19,16 @@ import bisect
 import math
 from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, AbstractSet
+from typing import TYPE_CHECKING, AbstractSet, Iterable
 
-from repro.uncertain.graph import Node, UncertainGraph
-from repro.utils.validation import (
-    prob_below,
-    threshold_floor,
-    validate_k,
-    validate_tau,
+from repro.core.prune_kernel import (
+    CompiledPruneGraph,
+    PruneEngine,
+    compile_prune_graph,
+    topk_peel,
 )
+from repro.uncertain.graph import Node, UncertainGraph
+from repro.utils.validation import prob_below, validate_k, validate_tau
 
 if TYPE_CHECKING:  # pragma: no cover - type-only (kernel imports us)
     from repro.core.kernel import CompiledComponent
@@ -78,6 +79,8 @@ def topk_core(
     k: int,
     tau: float,
     fixed: AbstractSet = frozenset(),
+    engine: PruneEngine = "arrays",
+    compiled: CompiledPruneGraph | None = None,
 ) -> TopKCoreResult:
     """Algorithm 3: compute the (Top_k, tau)-core of ``graph``.
 
@@ -88,7 +91,20 @@ def topk_core(
     Runs in ``O(m log d_max)``: per-node incident probabilities are sorted
     once; each edge deletion removes one value from a sorted list and
     re-multiplies a k-prefix.
+
+    ``engine="arrays"`` (the default) runs the peel over a flat compiled
+    form of the graph (:func:`repro.core.prune_kernel.topk_peel`);
+    ``compiled`` supplies a prebuilt :class:`CompiledPruneGraph` (the
+    session layer's shared artifact).  Both engines converge to the same
+    canonical core.
     """
+    if engine == "arrays":
+        if compiled is None:
+            compiled = compile_prune_graph(graph)
+        survivors = topk_peel(compiled, k, tau, fixed=fixed)
+        if survivors is None:
+            return TopKCoreResult(frozenset(), False)
+        return TopKCoreResult(survivors, True)
     validate_k(k)
     tau = validate_tau(tau)
 
@@ -144,93 +160,33 @@ def topk_core(
 
 
 def topk_core_arrays(
-    graph: UncertainGraph, k: int, tau: float
+    graph: UncertainGraph,
+    k: int,
+    tau: float,
+    compiled: CompiledPruneGraph | None = None,
+    members: Iterable[Node] | None = None,
 ) -> frozenset[Node]:
     """Algorithm 3's peel over a compiled whole-graph array form.
 
     Array-based fast path for the *pre-search* pruning stage of MUCE++ /
-    MaxUC+ (the ``engine="bitset"`` twin of :func:`topk_core` without the
-    ``fixed`` machinery — the pre-search call has no clique yet).  Nodes
-    are compiled to dense ints, incident probabilities to flat CSR rows in
-    descending-probability order, and liveness to a flag array, so the
-    peel runs without per-edge hashing of node objects or value-bisects.
+    MaxUC+ (the compiled-engine twin of :func:`topk_core` without the
+    ``fixed`` machinery — the pre-search call has no clique yet).  Since
+    the prune kernel landed this is a thin delegate to
+    :func:`repro.core.prune_kernel.topk_peel`: ``compiled`` supplies a
+    prebuilt :class:`CompiledPruneGraph` (the session layer's shared
+    artifact) and ``members`` restricts the peel to a node subset without
+    building an induced subgraph.  Kept as a named entry point because
+    the pipeline's stage router and its tests patch it by name.
 
     Parity with :func:`topk_core`: the peel condition is monotone under
     node removal, so the surviving fixpoint is unique regardless of peel
-    order.  Each check multiplies the k highest surviving probabilities
-    in ascending order — the float sequence of
-    ``math.prod(sorted(probs)[-k:])`` — and compares against
-    ``threshold_floor(tau)``, the exact negation of ``prob_below``.
-    Returns the surviving node set.
+    order.  Returns the surviving node set.
     """
-    validate_k(k)
-    tau = validate_tau(tau)
-    order = list(graph.nodes())
-    if k == 0:
-        # pi_0 is the empty product 1.0, which clears any valid tau.
-        return frozenset(order)
-    tau_floor = threshold_floor(tau)
-    index = {u: i for i, u in enumerate(order)}
-    n = len(order)
-
-    # CSR adjacency in incident order (iteration only — no sort needed)
-    # plus an ascending sorted probability list per node, exactly the
-    # state topk_core keeps; bisect removal by value is safe for
-    # duplicates because equal floats are interchangeable in a product.
-    row_offsets = [0]
-    nbr_ids: list[int] = []
-    nbr_probs: list[float] = []
-    vals: list[list[float]] = []
-    id_of = index.__getitem__
-    for u in order:
-        inc = graph.incident(u)
-        nbr_ids.extend(map(id_of, inc))
-        nbr_probs.extend(inc.values())
-        row_offsets.append(len(nbr_ids))
-        vals.append(sorted(inc.values()))
-
-    def below(values: list[float]) -> bool:
-        # pi_k as topk_core computes it: math.prod of the ascending top-k
-        # slice multiplies left to right — reproduced exactly here.
-        nv = len(values)
-        if nv < k:
-            return True
-        product = 1.0
-        for p in values[nv - k:]:
-            product *= p
-        # Hot path: tau_floor = threshold_floor(tau) fast path.
-        return product < tau_floor  # repro-lint: ignore[RPL001]
-
-    condemned = bytearray(n)
-    stack: list[int] = []
-    for u in range(n):
-        if below(vals[u]):
-            condemned[u] = 1
-            stack.append(u)
-    # Peel order does not matter: the survival condition is monotone under
-    # node removal, so the fixpoint (and hence parity with topk_core's
-    # FIFO peel) is order-independent.
-    while stack:
-        u = stack.pop()
-        for i in range(row_offsets[u], row_offsets[u + 1]):
-            v = nbr_ids[i]
-            if condemned[v]:
-                continue
-            vv = vals[v]
-            idx = bisect.bisect_left(vv, nbr_probs[i])
-            vv.pop(idx)
-            # The top-k product reads only the last k entries; removing a
-            # value strictly below that window leaves the window — and
-            # hence v's survival — unchanged, so the recheck is skipped
-            # (when fewer than k values remain the condition is never
-            # taken and below() still fires).
-            if idx <= len(vv) - k:
-                continue
-            if below(vv):
-                condemned[v] = 1
-                stack.append(v)
-
-    return frozenset(order[i] for i in range(n) if not condemned[i])
+    if compiled is None:
+        compiled = compile_prune_graph(graph)
+    survivors = topk_peel(compiled, k, tau, members=members)
+    assert survivors is not None  # no fixed set -> never aborts
+    return survivors
 
 
 def topk_peel_masks(

@@ -55,7 +55,9 @@ def top_r_maximal_cliques(
     validate_k(k)
     tau = validate_tau(tau)
 
-    survivors = topk_core(graph, k, tau).nodes
+    # One-shot driver: a single prune per call, no session to share a
+    # compiled artifact with.
+    survivors = topk_core(graph, k, tau).nodes  # repro-lint: ignore[RPL008]
     pruned = graph.induced_subgraph(survivors)
     components = cut_optimize(pruned, k, tau).components
     # Large components first: fills the heap with big cliques early,

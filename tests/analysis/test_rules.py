@@ -525,6 +525,84 @@ class TestStageBypassesSession:
 
 
 # ----------------------------------------------------------------------
+# RPL008: prune peel calls bypassing the compiled session path
+# ----------------------------------------------------------------------
+
+class TestPruneBypassesSession:
+    def lint_core_file(
+        self, tmp_path: Path, source: str, name: str = "algorithm.py"
+    ) -> list[Finding]:
+        core = tmp_path / "core"
+        core.mkdir(exist_ok=True)
+        path = core / name
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return lint_file(path)
+
+    DIRECT_CALL = """
+        from repro.core.ktau_core import dp_core_plus
+
+        def survivors(graph, k, tau):
+            return dp_core_plus(graph, k, tau)
+        """
+
+    def test_flags_direct_peel_call_in_core(self, tmp_path: Path) -> None:
+        findings = self.lint_core_file(tmp_path, self.DIRECT_CALL)
+        assert rule_ids(findings) == ["RPL008"]
+        assert "compiled arrays" in findings[0].message
+
+    def test_flags_attribute_qualified_call(self, tmp_path: Path) -> None:
+        findings = self.lint_core_file(
+            tmp_path,
+            """
+            from repro.core import topk_core as topk_mod
+
+            def survivors(graph, k, tau):
+                return topk_mod.topk_core(graph, k, tau).nodes
+            """,
+        )
+        assert rule_ids(findings) == ["RPL008"]
+
+    def test_peel_layer_files_are_sanctioned(self, tmp_path: Path) -> None:
+        for name in (
+            "ktau_core.py",
+            "topk_core.py",
+            "prune_kernel.py",
+            "cut_pruning.py",
+            "pipeline.py",
+            "session.py",
+        ):
+            findings = self.lint_core_file(tmp_path, self.DIRECT_CALL, name)
+            assert findings == []
+
+    def test_outside_core_is_allowed(self, tmp_path: Path) -> None:
+        findings = lint_source(tmp_path, self.DIRECT_CALL, name="bench.py")
+        assert findings == []
+
+    def test_pragma_silences(self, tmp_path: Path) -> None:
+        findings = self.lint_core_file(
+            tmp_path,
+            """
+            from repro.core.ktau_core import dp_core_plus
+
+            def survivors(graph, k, tau):
+                return dp_core_plus(graph, k, tau)  # repro-lint: ignore[RPL008]
+            """,
+        )
+        assert findings == []
+
+    def test_shipped_core_tree_respects_layering(self) -> None:
+        from repro.analysis import run_lint
+
+        core = Path(__file__).resolve().parents[2] / "src" / "repro" / "core"
+        findings = [
+            finding
+            for finding in run_lint([core])
+            if finding.rule == "RPL008"
+        ]
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
 # Findings carry usable positions and render as path:line:col
 # ----------------------------------------------------------------------
 
@@ -557,7 +635,10 @@ def test_syntax_error_becomes_parse_finding(tmp_path: Path) -> None:
 
 @pytest.mark.parametrize(
     "rule_id",
-    ["RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006", "RPL007"],
+    [
+        "RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006",
+        "RPL007", "RPL008",
+    ],
 )
 def test_every_rule_is_registered(rule_id: str) -> None:
     from repro.analysis import RULES_BY_ID
