@@ -14,19 +14,45 @@ Rules are documented in ``docs/static_analysis.md``.
 
 from __future__ import annotations
 
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_PATH,
+    Baseline,
+    BaselineError,
+)
 from repro.analysis.engine import FileContext, lint_file, run_lint
-from repro.analysis.findings import Finding, format_findings
+from repro.analysis.findings import (
+    Finding,
+    format_findings,
+    format_findings_json,
+    format_findings_sarif,
+    format_statistics,
+)
 from repro.analysis.pragmas import PragmaSet, parse_pragmas
-from repro.analysis.rules import ALL_RULES, RULES_BY_ID, Rule, get_rules
+from repro.analysis.project import ProjectContext
+from repro.analysis.rules import (
+    ALL_RULES,
+    RULES_BY_ID,
+    ProjectRule,
+    Rule,
+    get_rules,
+)
 
 __all__ = [
     "ALL_RULES",
+    "DEFAULT_BASELINE_PATH",
     "RULES_BY_ID",
+    "Baseline",
+    "BaselineError",
     "FileContext",
     "Finding",
     "PragmaSet",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
     "format_findings",
+    "format_findings_json",
+    "format_findings_sarif",
+    "format_statistics",
     "get_rules",
     "lint_file",
     "parse_pragmas",

@@ -1,0 +1,121 @@
+"""Accepted-findings baseline for repro-lint.
+
+A baseline is a checked-in JSON file listing findings the project has
+*accepted*: known debt that should neither fail CI nor drown new
+findings.  Matching is by ``(path, rule, message)`` and deliberately
+**line-agnostic** — unrelated edits above a baselined site must not
+resurrect it — while any change to the finding itself (a different
+message, a different rule) makes the entry stop matching, so drift is
+loud.
+
+The shipped default lives next to this module (``baseline.json``) and
+records the ``src/repro`` debt; ``repro-lint --no-baseline`` runs the
+strict form CI uses to assert the debt list never grows silently.
+
+File format::
+
+    {
+      "entries": [
+        {"path": "src/repro/core/x.py", "rule": "RPL009",
+         "message": "...", "reason": "why this is accepted"}
+      ]
+    }
+
+``reason`` is documentation only; unknown keys are ignored so the file
+can carry annotations without a schema bump.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path, PurePosixPath
+from typing import Sequence
+
+from repro.analysis.findings import Finding
+
+__all__ = ["Baseline", "BaselineError", "DEFAULT_BASELINE_PATH"]
+
+#: The baseline shipped with the package, recording accepted src/repro debt.
+DEFAULT_BASELINE_PATH = Path(__file__).with_name("baseline.json")
+
+
+class BaselineError(ValueError):
+    """Raised when a baseline file is unreadable or malformed."""
+
+
+def _normalize(path: str) -> str:
+    """Separator-insensitive path key (the file may be written on any OS)."""
+    return PurePosixPath(path.replace("\\", "/")).as_posix()
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """A parsed baseline: the set of accepted ``(path, rule, message)``."""
+
+    entries: frozenset[tuple[str, str, str]]
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Parse ``path``; malformed content raises :class:`BaselineError`."""
+        try:
+            raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        entries = raw.get("entries") if isinstance(raw, dict) else None
+        if not isinstance(entries, list):
+            raise BaselineError(
+                f"baseline {path} must be an object with an 'entries' list"
+            )
+        keys: set[tuple[str, str, str]] = set()
+        for i, entry in enumerate(entries):
+            if not isinstance(entry, dict) or not all(
+                isinstance(entry.get(field), str)
+                for field in ("path", "rule", "message")
+            ):
+                raise BaselineError(
+                    f"baseline {path} entry {i} needs string "
+                    "'path', 'rule' and 'message' fields"
+                )
+            keys.add(
+                (_normalize(entry["path"]), entry["rule"], entry["message"])
+            )
+        return cls(entries=frozenset(keys))
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(entries=frozenset())
+
+    def matches(self, finding: Finding) -> bool:
+        """Whether ``finding`` is accepted (line numbers never matter).
+
+        Paths compare by suffix at a ``/`` boundary so the same entry
+        matches a repo-relative run (``src/repro/...``) and a run against
+        the installed package (``/site-packages/repro/...`` still differs
+        in the leading components only).
+        """
+        path = _normalize(finding.path)
+        for entry_path, rule, message in self.entries:
+            if rule != finding.rule or message != finding.message:
+                continue
+            if path == entry_path or path.endswith("/" + entry_path):
+                return True
+            # The entry may carry a source-tree prefix (src/...) absent
+            # from an installed-package path; match on the package-rooted
+            # tail as well.
+            if entry_path.endswith("/" + path):
+                return True
+            tail = entry_path.split("/", 1)[-1]
+            if path == tail or path.endswith("/" + tail):
+                return True
+        return False
+
+    def filter(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Split findings into ``(new, accepted)`` against this baseline."""
+        new: list[Finding] = []
+        accepted: list[Finding] = []
+        for finding in findings:
+            (accepted if self.matches(finding) else new).append(finding)
+        return new, accepted

@@ -4,10 +4,19 @@ Usage::
 
     repro-lint [paths ...]            # default: src/repro
     repro-lint --select RPL001,RPL003 src/repro
+    repro-lint --format sarif src tests
+    repro-lint --no-baseline          # strict mode: accepted debt counts
+    repro-lint --statistics           # per-rule counts after the report
     repro-lint --list-rules
 
+Findings matching the checked-in baseline
+(:data:`repro.analysis.baseline.DEFAULT_BASELINE_PATH`) are suppressed
+by default and reported as a one-line tally; ``--no-baseline`` disables
+the suppression (CI's strict pass), ``--baseline PATH`` substitutes a
+different accepted-debt file.
+
 Exit status: 0 when clean, 1 when findings were reported, 2 on usage
-errors (unknown rule id, missing path).
+errors (unknown rule id, missing path, unreadable baseline).
 """
 
 from __future__ import annotations
@@ -17,8 +26,19 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_PATH,
+    Baseline,
+    BaselineError,
+)
 from repro.analysis.engine import run_lint
-from repro.analysis.findings import format_findings
+from repro.analysis.findings import (
+    Finding,
+    format_findings,
+    format_findings_json,
+    format_findings_sarif,
+    format_statistics,
+)
 from repro.analysis.rules import ALL_RULES, get_rules
 
 __all__ = ["main"]
@@ -43,6 +63,31 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help=(
+            "accepted-findings file (default: the baseline shipped "
+            "with the package)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline; report accepted findings too",
+    )
+    parser.add_argument(
+        "--statistics",
+        action="store_true",
+        help="print per-rule finding counts after the report",
+    )
+    parser.add_argument(
         "--no-pragmas",
         action="store_true",
         help="report findings even where an ignore pragma suppresses them",
@@ -53,6 +98,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the rule ids and titles, then exit",
     )
     return parser
+
+
+def _load_baseline(opts: argparse.Namespace) -> Baseline:
+    """Resolve the effective baseline from the parsed options."""
+    if opts.no_baseline:
+        return Baseline.empty()
+    if opts.baseline is not None:
+        return Baseline.load(opts.baseline)
+    if DEFAULT_BASELINE_PATH.exists():
+        return Baseline.load(DEFAULT_BASELINE_PATH)
+    return Baseline.empty()
+
+
+def _render(findings: list[Finding], fmt: str) -> str:
+    if fmt == "json":
+        return format_findings_json(findings)
+    if fmt == "sarif":
+        return format_findings_sarif(
+            findings,
+            {rule.rule_id: rule.title for rule in ALL_RULES},
+        )
+    return format_findings(findings)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -78,16 +145,36 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"repro-lint: no such path: {path}", file=sys.stderr)
         return 2
 
-    findings = run_lint(
+    try:
+        baseline = _load_baseline(opts)
+    except BaselineError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    all_findings = run_lint(
         opts.paths, rules=rules, respect_pragmas=not opts.no_pragmas
     )
+    findings, accepted = baseline.filter(all_findings)
+
+    status = 0
     if findings:
-        print(format_findings(findings))
+        print(_render(findings, opts.format))
         count = len(findings)
         plural = "s" if count != 1 else ""
         print(f"repro-lint: {count} finding{plural}", file=sys.stderr)
-        return 1
-    return 0
+        status = 1
+    elif opts.format in ("json", "sarif"):
+        # Machine formats always emit a (possibly empty) document.
+        print(_render(findings, opts.format))
+    if accepted:
+        print(
+            f"repro-lint: {len(accepted)} baselined finding"
+            f"{'s' if len(accepted) != 1 else ''} suppressed",
+            file=sys.stderr,
+        )
+    if opts.statistics:
+        print(format_statistics(findings))
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover - module execution shim

@@ -1,10 +1,23 @@
-"""The repro-lint engine: file discovery, parsing, rule dispatch.
+"""The repro-lint engine: file discovery, parsing, two-phase dispatch.
 
-The engine is deliberately tiny: it turns each ``.py`` file into a
-:class:`FileContext` (source, AST, parsed pragmas), hands the context to
-every registered rule, and filters out findings suppressed by a
-``# repro-lint: ignore[...]`` pragma.  All project knowledge lives in the
-rules under :mod:`repro.analysis.rules`.
+The engine turns each ``.py`` file into a :class:`FileContext` (source,
+AST, parsed pragmas) and runs the registered rules over it in two
+phases:
+
+1. **phase 1** parses every file and — when any selected rule is a
+   :class:`~repro.analysis.rules.base.ProjectRule` — builds the shared
+   :class:`~repro.analysis.project.ProjectContext` whole-program model
+   (symbol tables, import graph, function registry, call graph);
+2. **phase 2** dispatches the rules: per-file rules receive the
+   :class:`FileContext`, project rules additionally receive the
+   :class:`ProjectContext`, so their evidence may span modules while
+   findings stay anchored to one file and line (and pragma filtering
+   keeps working unchanged).
+
+Files that cannot be read or parsed at all — syntax errors, missing or
+unreadable paths, non-UTF-8 bytes — are *reported*, not raised: each
+becomes a single ``RPL000`` finding, so one broken file cannot abort a
+tree-wide lint.
 
 The public entry point is :func:`run_lint`, which is also what the test
 suite's self-check calls::
@@ -22,11 +35,13 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.analysis.findings import Finding
 from repro.analysis.pragmas import PragmaSet, parse_pragmas
+from repro.analysis.project import ProjectContext
 from repro.analysis.rules import ALL_RULES, Rule
+from repro.analysis.rules.base import ProjectRule
 
 __all__ = ["FileContext", "iter_python_files", "lint_file", "run_lint"]
 
-#: Pseudo-rule id attached to files the engine cannot parse at all.
+#: Pseudo-rule id attached to files the engine cannot read or parse.
 PARSE_ERROR_RULE = "RPL000"
 
 
@@ -72,44 +87,96 @@ def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
                 yield candidate
 
 
-def lint_file(
-    path: str | Path,
-    rules: Sequence[Rule] | None = None,
-    respect_pragmas: bool = True,
-) -> list[Finding]:
-    """Lint one file and return its (pragma-filtered) findings."""
-    path = Path(path)
+def _load_context(path: Path) -> FileContext | Finding:
+    """Parse one file, or describe why it cannot be linted.
+
+    Unreadable files (missing, permission-denied, non-UTF-8 bytes) and
+    files with syntax errors both degrade to a single :data:`RPL000`
+    finding instead of raising — a tree-wide lint must report a broken
+    file, not die on it.
+    """
     display = str(path)
-    source = path.read_text(encoding="utf-8")
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        return Finding(
+            path=display,
+            line=1,
+            col=0,
+            rule=PARSE_ERROR_RULE,
+            message=f"file cannot be read: {exc.strerror or exc}",
+        )
+    except UnicodeDecodeError as exc:
+        return Finding(
+            path=display,
+            line=1,
+            col=0,
+            rule=PARSE_ERROR_RULE,
+            message=f"file is not valid UTF-8: {exc.reason}",
+        )
     try:
         tree = ast.parse(source, filename=display)
     except SyntaxError as exc:
-        return [
-            Finding(
-                path=display,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                rule=PARSE_ERROR_RULE,
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
-    pragmas = parse_pragmas(source)
-    context = FileContext(
+        return Finding(
+            path=display,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            rule=PARSE_ERROR_RULE,
+            message=f"file does not parse: {exc.msg}",
+        )
+    return FileContext(
         display_path=display,
         path=path,
         source=source,
         tree=tree,
-        pragmas=pragmas,
+        pragmas=parse_pragmas(source),
     )
+
+
+def _check_context(
+    context: FileContext,
+    rules: Sequence[Rule],
+    project: ProjectContext | None,
+    respect_pragmas: bool,
+) -> list[Finding]:
+    """Phase 2 for one file: dispatch every rule, filter by pragma."""
     findings: list[Finding] = []
-    for rule in rules if rules is not None else ALL_RULES:
-        for finding in rule.check(context):
-            if respect_pragmas and pragmas.suppresses(
+    for rule in rules:
+        if isinstance(rule, ProjectRule) and project is not None:
+            produced: Iterable[Finding] = rule.check_project(
+                context, project
+            )
+        else:
+            produced = rule.check(context)
+        for finding in produced:
+            if respect_pragmas and context.pragmas.suppresses(
                 finding.line, finding.rule
             ):
                 continue
             findings.append(finding)
     return findings
+
+
+def lint_file(
+    path: str | Path,
+    rules: Sequence[Rule] | None = None,
+    respect_pragmas: bool = True,
+) -> list[Finding]:
+    """Lint one file and return its (pragma-filtered) findings.
+
+    Project rules run against a single-file project model here; use
+    :func:`run_lint` to give them the whole tree.
+    """
+    loaded = _load_context(Path(path))
+    if isinstance(loaded, Finding):
+        return [loaded]
+    active = tuple(rules) if rules is not None else ALL_RULES
+    project = (
+        ProjectContext.build([loaded])
+        if any(rule.requires_project for rule in active)
+        else None
+    )
+    return _check_context(loaded, active, project, respect_pragmas)
 
 
 def run_lint(
@@ -120,10 +187,27 @@ def run_lint(
     """Lint every Python file under ``paths``; findings in report order.
 
     This is the importable API the tests and the ``repro-lint`` console
-    script share.  An empty list means the tree is clean.
+    script share.  An empty list means the tree is clean.  All files are
+    parsed before any rule runs, so project rules see the complete
+    whole-program model regardless of file order.
     """
+    active = tuple(rules) if rules is not None else ALL_RULES
     findings: list[Finding] = []
+    contexts: list[FileContext] = []
     for path in iter_python_files(paths):
-        findings.extend(lint_file(path, rules, respect_pragmas))
+        loaded = _load_context(path)
+        if isinstance(loaded, Finding):
+            findings.append(loaded)
+        else:
+            contexts.append(loaded)
+    project = (
+        ProjectContext.build(contexts)
+        if contexts and any(rule.requires_project for rule in active)
+        else None
+    )
+    for context in contexts:
+        findings.extend(
+            _check_context(context, active, project, respect_pragmas)
+        )
     findings.sort(key=Finding.sort_key)
     return findings

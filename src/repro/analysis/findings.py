@@ -7,9 +7,18 @@ the CLI can sort them into a stable report order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from collections import Counter
+from dataclasses import asdict, dataclass
+from typing import Mapping
 
-__all__ = ["Finding", "format_findings"]
+__all__ = [
+    "Finding",
+    "format_findings",
+    "format_findings_json",
+    "format_findings_sarif",
+    "format_statistics",
+]
 
 
 @dataclass(frozen=True)
@@ -39,3 +48,91 @@ def format_findings(findings: list[Finding]) -> str:
     """Render findings one per line, in :meth:`Finding.sort_key` order."""
     ordered = sorted(findings, key=Finding.sort_key)
     return "\n".join(finding.format() for finding in ordered)
+
+
+def format_findings_json(findings: list[Finding]) -> str:
+    """Render findings as a JSON array of location/rule/message objects."""
+    ordered = sorted(findings, key=Finding.sort_key)
+    return json.dumps(
+        [asdict(finding) for finding in ordered], indent=2
+    )
+
+
+def format_findings_sarif(
+    findings: list[Finding], rule_titles: Mapping[str, str] | None = None
+) -> str:
+    """Render findings as a SARIF 2.1.0 log (one run, one result each).
+
+    ``rule_titles`` populates the tool's rule metadata so SARIF viewers
+    show the one-line description next to each result; unknown rules
+    (e.g. the RPL000 parse pseudo-rule) get an id-only entry.
+    """
+    ordered = sorted(findings, key=Finding.sort_key)
+    titles = dict(rule_titles or {})
+    rule_ids = sorted({finding.rule for finding in ordered})
+    sarif = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                **(
+                                    {
+                                        "shortDescription": {
+                                            "text": titles[rule_id]
+                                        }
+                                    }
+                                    if rule_id in titles
+                                    else {}
+                                ),
+                            }
+                            for rule_id in rule_ids
+                        ],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": finding.rule,
+                        "level": "warning",
+                        "message": {"text": finding.message},
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {
+                                        "uri": finding.path.replace(
+                                            "\\", "/"
+                                        )
+                                    },
+                                    "region": {
+                                        "startLine": finding.line,
+                                        # SARIF columns are 1-based.
+                                        "startColumn": finding.col + 1,
+                                    },
+                                }
+                            }
+                        ],
+                    }
+                    for finding in ordered
+                ],
+            }
+        ],
+    }
+    return json.dumps(sarif, indent=2)
+
+
+def format_statistics(findings: list[Finding]) -> str:
+    """Per-rule finding counts, one ``count  RULE`` line per rule."""
+    counts = Counter(finding.rule for finding in findings)
+    lines = [
+        f"{counts[rule]:5d}  {rule}" for rule in sorted(counts)
+    ]
+    lines.append(f"{len(findings):5d}  total")
+    return "\n".join(lines)

@@ -7,33 +7,46 @@ runs them all unless the caller selects a subset by id via
 
 from __future__ import annotations
 
-from repro.analysis.rules.base import Rule
+from repro.analysis.rules.base import ProjectRule, Rule
+from repro.analysis.rules.determinism import (
+    UnorderedIterationFlow,
+    UnorderedReduction,
+)
 from repro.analysis.rules.errors import SwallowedError
 from repro.analysis.rules.layering import (
     PruneBypassesSession,
     StageBypassesSession,
 )
 from repro.analysis.rules.mutation import FrozenGraphMutation
+from repro.analysis.rules.pickling import UnpicklableSubmission
 from repro.analysis.rules.probability import (
     LogLinearMixing,
     RawThresholdCompare,
     UnvalidatedProbabilityStore,
 )
+from repro.analysis.rules.purity import ImpureStage
 from repro.analysis.rules.randomness import UnseededRandom
+from repro.analysis.rules.versioning import UnversionedCacheKey
 
 __all__ = [
     "ALL_RULES",
     "RULES_BY_ID",
+    "ProjectRule",
     "Rule",
     "get_rules",
     "FrozenGraphMutation",
+    "ImpureStage",
     "LogLinearMixing",
     "PruneBypassesSession",
     "RawThresholdCompare",
     "StageBypassesSession",
     "SwallowedError",
+    "UnorderedIterationFlow",
+    "UnorderedReduction",
+    "UnpicklableSubmission",
     "UnseededRandom",
     "UnvalidatedProbabilityStore",
+    "UnversionedCacheKey",
 ]
 
 ALL_RULES: tuple[Rule, ...] = (
@@ -45,6 +58,11 @@ ALL_RULES: tuple[Rule, ...] = (
     SwallowedError(),
     StageBypassesSession(),
     PruneBypassesSession(),
+    UnorderedIterationFlow(),
+    UnorderedReduction(),
+    ImpureStage(),
+    UnversionedCacheKey(),
+    UnpicklableSubmission(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}

@@ -15,10 +15,13 @@ from repro.analysis.findings import Finding
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.analysis.engine import FileContext
+    from repro.analysis.project import ProjectContext
 
 __all__ = [
+    "ProjectRule",
     "Rule",
     "is_probability_name",
+    "is_test_path",
     "mentioned_names",
     "mentions_probability",
 ]
@@ -31,6 +34,10 @@ class Rule(abc.ABC):
     rule_id: ClassVar[str]
     #: One-line summary shown by ``repro-lint --list-rules``.
     title: ClassVar[str]
+    #: Whether the rule needs the phase-1 whole-program model; the
+    #: engine only builds a :class:`ProjectContext` when a selected rule
+    #: asks for one.
+    requires_project: ClassVar[bool] = False
 
     @abc.abstractmethod
     def check(self, context: "FileContext") -> Iterator[Finding]:
@@ -47,6 +54,48 @@ class Rule(abc.ABC):
             rule=self.rule_id,
             message=message,
         )
+
+
+class ProjectRule(Rule):
+    """A rule that reasons across modules via the phase-1 project model.
+
+    Subclasses implement :meth:`check_project`; the engine calls it once
+    per file with the shared :class:`~repro.analysis.project.
+    ProjectContext`, so findings stay anchored to files (and pragma
+    filtering keeps working) while the evidence may span the whole tree.
+    """
+
+    requires_project: ClassVar[bool] = True
+
+    def check(self, context: "FileContext") -> Iterator[Finding]:
+        # Per-file entry point kept for API compatibility: a project
+        # rule run without a project sees a single-file model.
+        from repro.analysis.project import ProjectContext
+
+        yield from self.check_project(
+            context, ProjectContext.build([context])
+        )
+
+    @abc.abstractmethod
+    def check_project(
+        self, context: "FileContext", project: "ProjectContext"
+    ) -> Iterator[Finding]:
+        """Yield findings for ``context`` given the whole-program model."""
+
+
+def is_test_path(context: "FileContext") -> bool:
+    """Whether a file belongs to a test tree rather than the library.
+
+    Test code composes stages, peels and fixtures freely by design — the
+    layering and flow rules scope themselves to library modules.  A file
+    counts as test code when any parent directory is named ``tests`` or
+    the file itself follows the ``test_*.py`` / ``conftest.py``
+    convention.
+    """
+    if "tests" in context.path.parts[:-1]:
+        return True
+    name = context.path.name
+    return name.startswith("test_") or name == "conftest.py"
 
 
 def is_probability_name(name: str) -> bool:

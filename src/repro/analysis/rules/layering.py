@@ -21,7 +21,7 @@ import ast
 from typing import TYPE_CHECKING, ClassVar, Iterator
 
 from repro.analysis.findings import Finding
-from repro.analysis.rules.base import Rule
+from repro.analysis.rules.base import Rule, is_test_path
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.analysis.engine import FileContext
@@ -64,7 +64,7 @@ class StageBypassesSession(Rule):
     title: ClassVar[str] = "pipeline stage call bypassing the session layer"
 
     def check(self, context: "FileContext") -> Iterator[Finding]:
-        if not context.in_directory("core"):
+        if not context.in_directory("core") or is_test_path(context):
             return
         if any(context.is_file(name) for name in _SANCTIONED_FILES):
             return
@@ -132,7 +132,7 @@ class PruneBypassesSession(Rule):
     title: ClassVar[str] = "prune peel call bypassing the compiled session path"
 
     def check(self, context: "FileContext") -> Iterator[Finding]:
-        if not context.in_directory("core"):
+        if not context.in_directory("core") or is_test_path(context):
             return
         if any(context.is_file(name) for name in _PRUNE_SANCTIONED_FILES):
             return

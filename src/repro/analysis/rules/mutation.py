@@ -18,7 +18,7 @@ from repro.analysis.rules.base import Rule
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.analysis.engine import FileContext
 
-__all__ = ["FrozenGraphMutation"]
+__all__ = ["FrozenGraphMutation", "iter_graph_param_mutations"]
 
 #: UncertainGraph methods that mutate the receiver.
 MUTATOR_METHODS = frozenset(
@@ -58,6 +58,47 @@ def _graph_params(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
     return names
 
 
+def iter_graph_param_mutations(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.Call]:
+    """Mutator calls on frozen graph parameters inside one function.
+
+    The reusable core of RPL004, shared with the stage-purity rule
+    (RPL011): yields each ``graph.remove_node(...)``-style call whose
+    receiver is a graph-valued parameter that was not first rebound to a
+    ``.copy()``.  Nested functions inherit frozen names, matching
+    closure capture.
+    """
+
+    def scan(
+        node: ast.AST, frozen: frozenset[str]
+    ) -> Iterator[ast.Call]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from scan(child, frozen | _graph_params(child))
+                continue
+            if isinstance(child, ast.Assign):
+                rebound = {
+                    target.id
+                    for target in child.targets
+                    if isinstance(target, ast.Name)
+                }
+                if rebound:
+                    frozen = frozenset(frozen - rebound)
+            if isinstance(child, ast.Call):
+                func_expr = child.func
+                if (
+                    isinstance(func_expr, ast.Attribute)
+                    and func_expr.attr in MUTATOR_METHODS
+                    and isinstance(func_expr.value, ast.Name)
+                    and func_expr.value.id in frozen
+                ):
+                    yield child
+            yield from scan(child, frozen)
+
+    yield from scan(func, frozenset(_graph_params(func)))
+
+
 class FrozenGraphMutation(Rule):
     """RPL004 — calling a mutator on an ``UncertainGraph`` parameter.
 
@@ -75,43 +116,34 @@ class FrozenGraphMutation(Rule):
     def check(self, context: "FileContext") -> Iterator[Finding]:
         if context.is_file("graph.py"):
             return
-        yield from self._scan(context, context.tree, frozen=frozenset())
+        for func in _outermost_functions(context.tree):
+            for call in iter_graph_param_mutations(func):
+                receiver = call.func
+                assert isinstance(receiver, ast.Attribute)
+                assert isinstance(receiver.value, ast.Name)
+                yield self.finding(
+                    context,
+                    call,
+                    f"{receiver.value.id}.{receiver.attr}(...) mutates a "
+                    "graph parameter; operate on a .copy() — enumeration "
+                    "treats input graphs as frozen",
+                )
 
-    def _scan(
-        self,
-        context: "FileContext",
-        node: ast.AST,
-        frozen: frozenset[str],
-    ) -> Iterator[Finding]:
+
+def _outermost_functions(
+    tree: ast.Module,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Functions not nested inside another function (methods included).
+
+    :func:`iter_graph_param_mutations` recurses into nested functions
+    itself, so yielding them here would double-report.
+    """
+
+    def walk(node: ast.AST) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
         for child in ast.iter_child_nodes(node):
             if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                yield from self._scan(
-                    context, child, (frozen | _graph_params(child))
-                )
-                continue
-            if isinstance(child, ast.Assign):
-                # A rebound name now refers to a local value (typically a
-                # .copy()); mutation through it is the caller's pattern.
-                rebound = {
-                    target.id
-                    for target in child.targets
-                    if isinstance(target, ast.Name)
-                }
-                if rebound:
-                    frozen = frozenset(frozen - rebound)
-            if isinstance(child, ast.Call):
-                func = child.func
-                if (
-                    isinstance(func, ast.Attribute)
-                    and func.attr in MUTATOR_METHODS
-                    and isinstance(func.value, ast.Name)
-                    and func.value.id in frozen
-                ):
-                    yield self.finding(
-                        context,
-                        child,
-                        f"{func.value.id}.{func.attr}(...) mutates a graph "
-                        "parameter; operate on a .copy() — enumeration "
-                        "treats input graphs as frozen",
-                    )
-            yield from self._scan(context, child, frozen)
+                yield child
+            else:
+                yield from walk(child)
+
+    yield from walk(tree)

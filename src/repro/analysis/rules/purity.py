@@ -1,0 +1,289 @@
+"""Stage-purity rule: RPL011 — pipeline stages must be pure functions.
+
+The session layer's memoization contract (PR 4) is that every pipeline
+stage is a pure function from ``(graph state, parameters)`` to an
+artifact: replaying a cached artifact must be indistinguishable from
+re-running the stage.  Three things silently break that contract:
+
+* the stage **mutates a parameter** (a graph it was handed, in place);
+* the stage — or anything it calls, transitively — **writes
+  module-level state**, so a replayed call observes different globals
+  than the original;
+* the stage **reads module-level mutable state**, so two calls with
+  equal arguments can compute different artifacts.
+
+The rule resolves the transitive part over the project call graph
+(conservative, by-name): a stage that calls a helper in another module
+that calls an ``UncertainGraph`` mutator on a frozen parameter is
+flagged at the stage definition, with the offending callee named.
+Mutator calls already sanctioned by an RPL004 pragma in the callee's
+file (scratch-graph owners that peel private copies) do not count —
+the pragma is the established audit trail for "this function owns its
+copy".
+
+A function counts as a *registered stage* when its name is one of the
+:data:`~repro.analysis.rules.layering.STAGE_FUNCTIONS` in a file named
+``pipeline.py``, or when it carries a decorator whose name mentions
+``stage`` (``@register_stage`` and friends).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, ClassVar, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import FunctionInfo, ProjectContext
+from repro.analysis.rules.base import ProjectRule, is_test_path
+from repro.analysis.rules.layering import STAGE_FUNCTIONS
+from repro.analysis.rules.mutation import iter_graph_param_mutations
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.engine import FileContext
+
+__all__ = ["ImpureStage"]
+
+#: Method names that mutate a container receiver in place.
+_CONTAINER_MUTATORS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+    }
+)
+
+
+def _is_stage(info: FunctionInfo) -> bool:
+    """Whether ``info`` is registered as a pipeline stage."""
+    if info.name in STAGE_FUNCTIONS and info.context.is_file("pipeline.py"):
+        return True
+    return any("stage" in dec.lower() for dec in info.decorators)
+
+
+def _unsanctioned_graph_mutation(info: FunctionInfo) -> ast.Call | None:
+    """First graph-parameter mutation in ``info`` not excused by an
+    RPL004 pragma in its own file (the scratch-owner audit trail)."""
+    for call in iter_graph_param_mutations(info.node):
+        if info.context.pragmas.suppresses(call.lineno, "RPL004"):
+            continue
+        return call
+    return None
+
+
+def _module_state_write(
+    info: FunctionInfo, project: ProjectContext
+) -> tuple[ast.AST, str] | None:
+    """First write to module-level state inside ``info``.
+
+    Covers ``global X`` rebinding, stores to an imported module's
+    attribute (``mod.LIMIT = n``), and in-place mutation (subscript
+    store or mutator method) of a module-level mutable container of the
+    function's own module.
+    """
+    table = project.modules.get(info.module)
+    own_mutables = table.mutable_globals if table is not None else set()
+    imported = (
+        {
+            name
+            for name, kind in table.symbols.items()
+            if kind == "import"
+        }
+        if table is not None
+        else set()
+    )
+    declared_global: set[str] = {
+        name
+        for node in ast.walk(info.node)
+        if isinstance(node, ast.Global)
+        for name in node.names
+    }
+    for node in ast.walk(info.node):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id in declared_global
+                ):
+                    return node, f"rebinds module global {target.id!r}"
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in imported
+                ):
+                    return (
+                        node,
+                        f"stores into module attribute "
+                        f"{target.value.id}.{target.attr}",
+                    )
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in own_mutables
+                ):
+                    return (
+                        node,
+                        f"writes into module-level container "
+                        f"{target.value.id!r}",
+                    )
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _CONTAINER_MUTATORS
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in own_mutables
+        ):
+            return (
+                node,
+                f"mutates module-level container {node.func.value.id!r} "
+                f"via .{node.func.attr}()",
+            )
+    return None
+
+
+def _module_state_read(
+    info: FunctionInfo, project: ProjectContext
+) -> tuple[ast.AST, str] | None:
+    """First read of a module-level mutable container inside ``info``.
+
+    Name nodes that are the base of a subscript *store* or the receiver
+    of a mutator-method call are write sites, already reported by
+    :func:`_module_state_write` — counting them again as reads would
+    double-report one statement.
+    """
+    table = project.modules.get(info.module)
+    if table is None or not table.mutable_globals:
+        return None
+    write_bases: set[int] = set()
+    for node in ast.walk(info.node):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.ctx, ast.Store)
+            and isinstance(node.value, ast.Name)
+        ):
+            write_bases.add(id(node.value))
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _CONTAINER_MUTATORS
+            and isinstance(node.func.value, ast.Name)
+        ):
+            write_bases.add(id(node.func.value))
+    local_names: set[str] = set()
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            local_names.add(node.id)
+        for arg_list in (
+            (node.args.posonlyargs, node.args.args, node.args.kwonlyargs)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            else ()
+        ):
+            local_names.update(arg.arg for arg in arg_list)
+    for node in ast.walk(info.node):
+        if (
+            isinstance(node, ast.Name)
+            and isinstance(node.ctx, ast.Load)
+            and node.id in table.mutable_globals
+            and node.id not in local_names
+            and id(node) not in write_bases
+        ):
+            return node, f"reads module-level mutable {node.id!r}"
+    return None
+
+
+class ImpureStage(ProjectRule):
+    """RPL011 — a registered pipeline stage with an impure body or callee.
+
+    Direct violations are anchored at the offending statement; transitive
+    ones at the stage's ``def`` line with the callee named, so a pragma
+    on the definition is the (auditable) way to accept a known impurity.
+    """
+
+    rule_id: ClassVar[str] = "RPL011"
+    title: ClassVar[str] = (
+        "pipeline stage mutates state the memoization contract freezes"
+    )
+
+    def check_project(
+        self, context: "FileContext", project: ProjectContext
+    ) -> Iterator[Finding]:
+        if is_test_path(context):
+            return
+        for info in project.functions_in(context):
+            if not _is_stage(info):
+                continue
+            yield from self._check_stage(context, info, project)
+
+    def _check_stage(
+        self,
+        context: "FileContext",
+        info: FunctionInfo,
+        project: ProjectContext,
+    ) -> Iterator[Finding]:
+        mutation = _unsanctioned_graph_mutation(info)
+        if mutation is not None:
+            yield self.finding(
+                context,
+                mutation,
+                f"stage {info.name}() mutates a graph parameter; stages "
+                "must be pure so cached artifacts replay identically",
+            )
+        write = _module_state_write(info, project)
+        if write is not None:
+            node, description = write
+            yield self.finding(
+                context,
+                node,
+                f"stage {info.name}() {description}; a replayed cache "
+                "hit would skip this write, so warm and cold runs "
+                "diverge",
+            )
+        read = _module_state_read(info, project)
+        if read is not None:
+            node, description = read
+            yield self.finding(
+                context,
+                node,
+                f"stage {info.name}() {description}; stage output must "
+                "depend only on its arguments to be memoizable",
+            )
+        # Transitive impurity through the conservative call graph;
+        # test-tree helpers are out of scope even when the lint run
+        # spans both source and tests.
+        for callee in project.transitive_callees(info):
+            if callee.node is info.node or is_test_path(callee.context):
+                continue
+            callee_mutation = _unsanctioned_graph_mutation(callee)
+            if callee_mutation is not None:
+                yield self.finding(
+                    context,
+                    info.node,
+                    f"stage {info.name}() transitively calls "
+                    f"{callee.qualname}() ({callee.module}:"
+                    f"{callee_mutation.lineno}), which mutates a graph "
+                    "parameter; the stage is not pure",
+                )
+                continue
+            callee_write = _module_state_write(callee, project)
+            if callee_write is not None:
+                node, description = callee_write
+                yield self.finding(
+                    context,
+                    info.node,
+                    f"stage {info.name}() transitively calls "
+                    f"{callee.qualname}() ({callee.module}:"
+                    f"{getattr(node, 'lineno', '?')}), which "
+                    f"{description}; the stage is not pure",
+                )

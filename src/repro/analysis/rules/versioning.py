@@ -1,0 +1,162 @@
+"""Version-key rule: RPL012 — session caches must key on the graph version.
+
+The session layer (PR 4) invalidates memoized stage artifacts by
+*versioning*, not by clearing: every mutation bumps
+``UncertainGraph.version``, and every cache key embeds that version, so
+stale artifacts simply stop being reachable.  The contract dies quietly
+the moment one insertion path builds a key without the version — the
+entry survives mutation and a later query replays an artifact computed
+against a graph that no longer exists.
+
+The rule inspects every cache/memo insertion (subscript store or
+``.setdefault`` on a receiver whose name mentions ``cache`` or
+``memo``) in the session module and in every module the session layer
+imports.  A key passes when its expression — or the local assignment
+that produced it — mentions a ``version`` attribute or name.  A key
+that is a bare function parameter is skipped: the key was built by the
+caller, and the insertion site has no say in its shape (the caller's
+construction site is where this rule looks instead).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, ClassVar, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ProjectContext
+from repro.analysis.rules.base import ProjectRule, is_test_path
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.engine import FileContext
+
+__all__ = ["UnversionedCacheKey"]
+
+#: Receiver-name fragments that mark a binding as a memoization table.
+_CACHE_NAME_FRAGMENTS = ("cache", "memo")
+
+
+def _is_cache_receiver(node: ast.expr) -> bool:
+    """Whether ``node`` names a cache/memo container (``self._cache``,
+    ``memo``, ``session.cache`` ...)."""
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return False
+    lowered = name.lower()
+    return any(fragment in lowered for fragment in _CACHE_NAME_FRAGMENTS)
+
+
+def _mentions_version(node: ast.AST) -> bool:
+    """Whether ``node`` contains a ``version`` attribute or name."""
+    for current in ast.walk(node):
+        if isinstance(current, ast.Attribute) and "version" in current.attr:
+            return True
+        if isinstance(current, ast.Name) and "version" in current.id:
+            return True
+    return False
+
+
+def _param_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    args = func.args
+    return {
+        arg.arg
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+    }
+
+
+def _session_reachable_modules(project: ProjectContext) -> set[str]:
+    """The session modules plus every project module they import."""
+    reachable: set[str] = set()
+    for table in project.modules.values():
+        if not table.context.is_file("session.py"):
+            continue
+        reachable.add(table.module)
+        imported = set(table.imports) | set(table.imported_symbols.values())
+        for dotted in imported:
+            stripped = dotted.lstrip(".")
+            for name in project.modules:
+                if name == stripped or name.endswith("." + stripped):
+                    reachable.add(name)
+    return reachable
+
+
+class UnversionedCacheKey(ProjectRule):
+    """RPL012 — a cache insertion whose key omits ``graph.version``.
+
+    Scope is the session layer's reach: ``session.py`` itself and every
+    module it imports.  Keys are resolved one local-assignment step
+    (``key = (self._graph.version, ...)`` then ``self._cache[key] = v``
+    passes); bare-parameter keys are the caller's responsibility and are
+    skipped here.
+    """
+
+    rule_id: ClassVar[str] = "RPL012"
+    title: ClassVar[str] = "cache key missing the graph version"
+
+    def check_project(
+        self, context: "FileContext", project: ProjectContext
+    ) -> Iterator[Finding]:
+        if is_test_path(context):
+            return
+        if project.module_of(context) not in _session_reachable_modules(
+            project
+        ):
+            return
+        for func_node in ast.walk(context.tree):
+            if not isinstance(
+                func_node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            yield from self._check_function(context, func_node)
+
+    def _check_function(
+        self,
+        context: "FileContext",
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Finding]:
+        params = _param_names(func)
+        local_values: dict[str, ast.expr] = {}
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        local_values[target.id] = node.value
+        for node in ast.walk(func):
+            key = self._insertion_key(node)
+            if key is None:
+                continue
+            if isinstance(key, ast.Name):
+                if key.id in params:
+                    continue
+                key = local_values.get(key.id, key)
+            if _mentions_version(key):
+                continue
+            yield self.finding(
+                context,
+                node,
+                "cache insertion keyed without graph.version; stale "
+                "entries will survive graph mutation and replay "
+                "artifacts of a graph that no longer exists",
+            )
+
+    @staticmethod
+    def _insertion_key(node: ast.AST) -> ast.expr | None:
+        """The key expression of a cache insertion, or ``None``."""
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript) and _is_cache_receiver(
+                    target.value
+                ):
+                    return target.slice
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "setdefault"
+            and _is_cache_receiver(node.func.value)
+            and node.args
+        ):
+            return node.args[0]
+        return None

@@ -72,7 +72,9 @@ def _grow_to_maximal(
     graph: UncertainGraph, clique: frozenset[Node], tau: float
 ) -> frozenset[Node]:
     """Greedily add the best extending node until no extension remains."""
-    members = list(clique)
+    # Sorted so the anchor choice — and with it the greedy tie-breaks —
+    # does not follow frozenset hash order across processes.
+    members = sorted(clique, key=str)
     prob = clique_probability(graph, members)
     member_set = set(members)
     while True:

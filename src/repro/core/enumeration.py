@@ -309,7 +309,9 @@ def _insearch_topk_prune(
     probs: dict[Node, list[float]] = {}
     queue: list[Node] = []
     removed: set[Node] = set()
-    for u in member_set:
+    # Worklist seeding order cannot change the peel's fixpoint, only the
+    # visit order of an order-free set computation.
+    for u in member_set:  # repro-lint: ignore[RPL009]
         inc = incident[u]
         plist = sorted(p for v, p in inc.items() if v in member_set)
         probs[u] = plist

@@ -219,7 +219,9 @@ def dp_core_plus(
 
     if core is None:
         core = core_numbers(graph)
-    survivors = {u for u, c in core.items() if c >= k}
+    # A list keeps the core-number dict's graph order; a set here would
+    # hand induced_subgraph a hash-ordered node sequence.
+    survivors = [u for u, c in core.items() if c >= k]
     work = graph.induced_subgraph(survivors)
     # Caps never exceed k: the peeling only needs to distinguish "below
     # k" from "at least k", and Lemma 2 lets us truncate by c_u as well.

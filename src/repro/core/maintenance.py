@@ -214,7 +214,9 @@ class KTauCoreMaintainer:
         changed = True
         while changed:
             changed = False
-            for x in list(candidates):
+            # Iteration order cannot change the fixpoint; the snapshot
+            # only exists so the set can shrink mid-pass.
+            for x in list(candidates):  # repro-lint: ignore[RPL009]
                 if self._tau_degree_within(x, support) < self.k:
                     candidates.discard(x)
                     support.discard(x)

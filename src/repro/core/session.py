@@ -587,8 +587,11 @@ class PreparedGraph:
             raise NodeNotFoundError(node)
 
         # incident() iterates the same keys as neighbors() without the
-        # per-step mutation guard; the region set is identical.
-        region = set(self._graph.incident(node)) | {node}
+        # per-step mutation guard.  Keep the adjacency's insertion order:
+        # induced_subgraph preserves argument order, so a set here would
+        # make the child's node order — and the clique yield order —
+        # depend on PYTHONHASHSEED across processes.
+        region = [*self._graph.incident(node), node]
         child = self._anchored_child(
             "anchor_node", node, region, {node}, k, tau
         )
@@ -669,11 +672,17 @@ class PreparedGraph:
         if len(members) > k:
             return True  # already a (k, tau)-clique; some maximal one holds it
 
-        # Grow within the common neighborhood of the anchor set.
+        # Grow within the common neighborhood of the anchor set.  The
+        # region is ordered by the anchor's adjacency (filtered by the
+        # common set) so the child's node order is hash-seed-free; the
+        # members themselves are never their own neighbors, so appending
+        # them cannot duplicate a region node.
         common = set(self._graph.incident(members[0]))
         for u in members[1:]:
             common &= set(self._graph.incident(u))
-        region = common | set(members)
+        region = [
+            v for v in self._graph.incident(members[0]) if v in common
+        ] + members
         member_set = set(members)
         child = self._anchored_child(
             "anchor_set", frozenset(members), region, member_set, k, tau

@@ -1,0 +1,304 @@
+"""Baseline semantics, report formats, statistics, and RPL000 recovery."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    BaselineError,
+    Finding,
+    format_findings_json,
+    format_findings_sarif,
+    format_statistics,
+    lint_file,
+)
+from repro.analysis.cli import main
+
+VIOLATION = """
+import random
+
+
+def keep(p, tau):
+    rng = random.Random()
+    return p >= tau
+"""
+
+
+def write(tmp_path: Path, name: str, source: str) -> Path:
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+def finding(
+    path: str = "src/repro/core/mod.py",
+    line: int = 3,
+    rule: str = "RPL009",
+    message: str = "the message",
+) -> Finding:
+    return Finding(path=path, line=line, col=0, rule=rule, message=message)
+
+
+# ----------------------------------------------------------------------
+# Baseline loading and matching
+# ----------------------------------------------------------------------
+
+def baseline_file(tmp_path: Path, payload: object) -> Path:
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+def test_baseline_load_roundtrip(tmp_path: Path) -> None:
+    path = baseline_file(
+        tmp_path,
+        {
+            "entries": [
+                {
+                    "path": "src/repro/core/mod.py",
+                    "rule": "RPL009",
+                    "message": "the message",
+                    "reason": "documentation only, ignored",
+                }
+            ]
+        },
+    )
+    baseline = Baseline.load(path)
+    assert len(baseline.entries) == 1
+    assert baseline.matches(finding())
+
+
+def test_baseline_load_missing_file_raises(tmp_path: Path) -> None:
+    with pytest.raises(BaselineError, match="cannot read"):
+        Baseline.load(tmp_path / "absent.json")
+
+
+def test_baseline_load_bad_json_raises(tmp_path: Path) -> None:
+    path = tmp_path / "baseline.json"
+    path.write_text("{not json", encoding="utf-8")
+    with pytest.raises(BaselineError, match="cannot read"):
+        Baseline.load(path)
+
+
+def test_baseline_load_requires_entries_list(tmp_path: Path) -> None:
+    path = baseline_file(tmp_path, {"entries": "nope"})
+    with pytest.raises(BaselineError, match="'entries' list"):
+        Baseline.load(path)
+
+
+def test_baseline_load_requires_string_fields(tmp_path: Path) -> None:
+    path = baseline_file(
+        tmp_path, {"entries": [{"path": "x.py", "rule": "RPL001"}]}
+    )
+    with pytest.raises(BaselineError, match="entry 0"):
+        Baseline.load(path)
+
+
+def test_baseline_matching_is_line_agnostic(tmp_path: Path) -> None:
+    path = baseline_file(
+        tmp_path,
+        {
+            "entries": [
+                {
+                    "path": "src/repro/core/mod.py",
+                    "rule": "RPL009",
+                    "message": "the message",
+                }
+            ]
+        },
+    )
+    baseline = Baseline.load(path)
+    assert baseline.matches(finding(line=3))
+    assert baseline.matches(finding(line=9000))
+    assert not baseline.matches(finding(message="a different message"))
+    assert not baseline.matches(finding(rule="RPL010"))
+
+
+def test_baseline_matches_installed_package_path(tmp_path: Path) -> None:
+    """A repo-relative entry must match the same finding reported from
+    an installed-package (absolute, src-less) path — and vice versa."""
+    path = baseline_file(
+        tmp_path,
+        {
+            "entries": [
+                {
+                    "path": "src/repro/core/mod.py",
+                    "rule": "RPL009",
+                    "message": "the message",
+                }
+            ]
+        },
+    )
+    baseline = Baseline.load(path)
+    assert baseline.matches(
+        finding(path="/site-packages/repro/core/mod.py")
+    )
+    # But not a mere basename collision in another package.
+    assert not baseline.matches(finding(path="/elsewhere/other/mod.py"))
+
+
+def test_baseline_filter_splits_new_and_accepted(tmp_path: Path) -> None:
+    path = baseline_file(
+        tmp_path,
+        {
+            "entries": [
+                {
+                    "path": "src/repro/core/mod.py",
+                    "rule": "RPL009",
+                    "message": "the message",
+                }
+            ]
+        },
+    )
+    baseline = Baseline.load(path)
+    fresh = finding(message="brand new")
+    new, accepted = baseline.filter([finding(), fresh])
+    assert new == [fresh]
+    assert accepted == [finding()]
+
+
+def test_empty_baseline_accepts_nothing() -> None:
+    new, accepted = Baseline.empty().filter([finding()])
+    assert new == [finding()] and accepted == []
+
+
+# ----------------------------------------------------------------------
+# Report formats
+# ----------------------------------------------------------------------
+
+def test_json_format_is_sorted_records() -> None:
+    rows = json.loads(
+        format_findings_json([finding(line=9), finding(line=2)])
+    )
+    assert [row["line"] for row in rows] == [2, 9]
+    assert rows[0] == {
+        "path": "src/repro/core/mod.py",
+        "line": 2,
+        "col": 0,
+        "rule": "RPL009",
+        "message": "the message",
+    }
+
+
+def test_sarif_format_shape() -> None:
+    doc = json.loads(
+        format_findings_sarif([finding()], {"RPL009": "a title"})
+    )
+    assert doc["version"] == "2.1.0"
+    driver = doc["runs"][0]["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    assert driver["rules"][0]["id"] == "RPL009"
+    result = doc["runs"][0]["results"][0]
+    assert result["ruleId"] == "RPL009"
+    assert result["level"] == "warning"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "src/repro/core/mod.py"
+    assert location["region"]["startLine"] == 3
+    assert location["region"]["startColumn"] == 1  # SARIF is 1-based
+
+
+def test_statistics_counts_by_rule() -> None:
+    out = format_statistics(
+        [finding(), finding(line=7), finding(rule="RPL001")]
+    )
+    lines = out.splitlines()
+    assert any("2" in line and "RPL009" in line for line in lines)
+    assert any("1" in line and "RPL001" in line for line in lines)
+    assert "3" in lines[-1] and "total" in lines[-1]
+
+
+# ----------------------------------------------------------------------
+# CLI integration: formats, baseline flags, statistics
+# ----------------------------------------------------------------------
+
+def test_cli_json_format(
+    tmp_path: Path, capsys: pytest.CaptureFixture[str]
+) -> None:
+    path = write(tmp_path, "bad.py", VIOLATION)
+    assert main(["--format", "json", str(path)]) == 1
+    rows = json.loads(capsys.readouterr().out)
+    assert {row["rule"] for row in rows} == {"RPL001", "RPL003"}
+
+
+def test_cli_sarif_format_emits_document_even_when_clean(
+    tmp_path: Path, capsys: pytest.CaptureFixture[str]
+) -> None:
+    write(tmp_path, "clean.py", "x = 1\n")
+    assert main(["--format", "sarif", str(tmp_path)]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["runs"][0]["results"] == []
+
+
+def test_cli_statistics_footer(
+    tmp_path: Path, capsys: pytest.CaptureFixture[str]
+) -> None:
+    path = write(tmp_path, "bad.py", VIOLATION)
+    assert main(["--statistics", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "RPL001" in out and "RPL003" in out
+    assert "2  total" in out
+
+
+def test_cli_custom_baseline_suppresses_and_tallies(
+    tmp_path: Path, capsys: pytest.CaptureFixture[str]
+) -> None:
+    path = write(tmp_path, "bad.py", VIOLATION)
+    noisy = lint_file(path)
+    base = baseline_file(
+        tmp_path,
+        {
+            "entries": [
+                {"path": f.path, "rule": f.rule, "message": f.message}
+                for f in noisy
+            ]
+        },
+    )
+    assert main(["--baseline", str(base), str(path)]) == 0
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert "2 baselined findings suppressed" in captured.err
+    # Strict mode ignores the same baseline.
+    assert main(["--no-baseline", str(path)]) == 1
+
+
+def test_cli_unreadable_baseline_exits_two(
+    tmp_path: Path, capsys: pytest.CaptureFixture[str]
+) -> None:
+    bad = tmp_path / "broken.json"
+    bad.write_text("[", encoding="utf-8")
+    path = write(tmp_path, "clean.py", "x = 1\n")
+    assert main(["--baseline", str(bad), str(path)]) == 2
+    assert "cannot read baseline" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# RPL000: the linter reports unreadable inputs instead of crashing
+# ----------------------------------------------------------------------
+
+def test_lint_file_reports_non_utf8_bytes(tmp_path: Path) -> None:
+    path = tmp_path / "latin.py"
+    path.write_bytes(b"# caf\xe9\nx = 1\n")
+    findings = lint_file(path)
+    assert [f.rule for f in findings] == ["RPL000"]
+    assert "not valid UTF-8" in findings[0].message
+
+
+def test_lint_file_reports_unreadable_path(tmp_path: Path) -> None:
+    dangling = tmp_path / "gone.py"
+    dangling.symlink_to(tmp_path / "never-existed.py")
+    findings = lint_file(dangling)
+    assert [f.rule for f in findings] == ["RPL000"]
+    assert "cannot be read" in findings[0].message
+
+
+def test_lint_file_reports_syntax_error(tmp_path: Path) -> None:
+    path = write(tmp_path, "broken.py", "def f(:\n")
+    findings = lint_file(path)
+    assert [f.rule for f in findings] == ["RPL000"]
+    assert "does not parse" in findings[0].message

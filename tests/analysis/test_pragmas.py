@@ -83,6 +83,51 @@ def test_skip_file_pragma_silences_whole_file(tmp_path: Path) -> None:
     assert findings == []
 
 
+def test_multi_id_pragma_suppresses_both_rules_on_one_line(
+    tmp_path: Path,
+) -> None:
+    """One ``ignore[A, B]`` pragma covers two different rules firing on
+    the same line — no stacking of comments required."""
+    source = """
+    import random
+
+    def pick(p, tau):
+        rng = random.Random() if p >= tau else None{pragma}
+        return rng
+    """
+    noisy = lint_source(tmp_path, source.format(pragma=""))
+    assert sorted({f.rule for f in noisy}) == ["RPL001", "RPL003"]
+    quiet = lint_source(
+        tmp_path,
+        source.format(pragma="  # repro-lint: ignore[RPL001, RPL003]"),
+    )
+    assert quiet == []
+
+
+def test_pragma_on_decorator_line(tmp_path: Path) -> None:
+    """Decorator expressions are real code: a finding anchored inside a
+    decorator call is suppressed by a pragma on that decorator's line."""
+    source = """
+    import random
+
+    def retry(rng):
+        def wrap(fn):
+            return fn
+        return wrap
+
+    @retry(random.Random()){pragma}
+    def stage(graph):
+        return graph
+    """
+    noisy = lint_source(tmp_path, source.format(pragma=""))
+    assert [f.rule for f in noisy] == ["RPL003"]
+    assert noisy[0].line == 9  # the decorator line, not the def line
+    quiet = lint_source(
+        tmp_path, source.format(pragma="  # repro-lint: ignore[RPL003]")
+    )
+    assert quiet == []
+
+
 def test_no_pragmas_mode_reports_suppressed(tmp_path: Path) -> None:
     findings = lint_source(
         tmp_path,

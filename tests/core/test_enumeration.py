@@ -15,6 +15,7 @@ from repro import (
 from repro.core.bruteforce import brute_force_maximal_cliques
 from repro.deterministic.cliques import bron_kerbosch
 from repro.errors import ParameterError
+from repro.utils.validation import prob_at_least
 from tests.conftest import make_clique, make_random_graph
 
 ALGORITHMS = [muce, muce_plus, muce_plus_plus]
@@ -77,7 +78,7 @@ class TestOutputProperties:
         g = make_random_graph(14, 0.6, seed=4)
         tau = 0.2
         for clique in muce_plus_plus(g, 2, tau):
-            assert clique_probability(g, clique) >= tau * (1 - 1e-9)
+            assert prob_at_least(clique_probability(g, clique), tau)
 
 
 class TestAgainstBruteForce:

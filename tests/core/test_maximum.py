@@ -14,6 +14,7 @@ from repro import (
     muce_plus_plus,
 )
 from repro.core.bruteforce import brute_force_maximum_clique
+from repro.utils.validation import prob_at_least
 from tests.conftest import make_clique, make_random_graph
 
 ALGORITHMS = [max_uc, max_rds, max_uc_plus]
@@ -48,7 +49,7 @@ class TestSmallGraphs:
         if best is not None:
             assert is_clique(g, best)
             assert len(best) > k
-            assert clique_probability(g, best) >= tau * (1 - 1e-9)
+            assert prob_at_least(clique_probability(g, best), tau)
 
     def test_input_not_modified(self, two_groups):
         before = two_groups.copy()

@@ -9,6 +9,7 @@ from repro import (
     topk_core,
 )
 from repro.errors import ParameterError
+from repro.utils.validation import prob_at_least
 from tests.conftest import make_clique, make_random_graph
 
 
@@ -72,8 +73,8 @@ class TestTopKCore:
         if result.nodes:
             sub = g.induced_subgraph(result.nodes)
             for u in result.nodes:
-                assert top_k_product_probability(sub, u, k) >= tau * (
-                    1 - 1e-9
+                assert prob_at_least(
+                    top_k_product_probability(sub, u, k), tau
                 )
 
     def test_cascading_peel(self):
@@ -112,6 +113,6 @@ class TestCorollaryOne:
     def test_topk_core_inside_ktau_core(self, seed, tau):
         g = make_random_graph(14, 0.5, seed=seed)
         for k in range(1, 5):
-            topk = set(topk_core(g, k, tau).nodes)
-            ktau = dp_core_plus(g, k, tau)
-            assert topk <= ktau
+            topk_nodes = set(topk_core(g, k, tau).nodes)
+            plus_core_nodes = dp_core_plus(g, k, tau)
+            assert topk_nodes <= plus_core_nodes
