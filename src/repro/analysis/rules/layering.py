@@ -31,7 +31,7 @@ __all__ = ["StageBypassesSession", "PruneBypassesSession"]
 #: The pipeline stage functions the session layer memoizes.
 STAGE_FUNCTIONS = frozenset(
     {
-        "compile_prune_stage",
+        "compile_stage",
         "prune_stage",
         "cut_stage",
         "compile_enumeration_stage",

@@ -10,7 +10,11 @@ run (~tens of seconds).  ``--check`` turns the run into a gate: exit
 status 1 when any config's outputs differ between arms — engines *or*
 worker counts — or when the bitset engine's median is slower than
 legacy's beyond ``--tolerance`` (a noise allowance — CI runners are
-shared machines).
+shared machines).  The enumeration suite carries a ``pivot`` arm whose
+gate is clique-set identity plus a branch-count reduction of at least
+1x over bitset; the queries suite additionally asserts the compile
+accounting (a cold session records one nonzero compile lap, a warm
+session records exactly zero).
 
 ``--jobs`` is the scaling axis: a comma-separated list of worker counts
 (full runs default to ``1,2,4``) adds a ``bitset-jN`` arm per count > 1,
@@ -151,10 +155,16 @@ def _print_report(report: BenchReport, verbose: bool) -> None:
             f"({ratio:.2f}x)"
             for name, ratio in sorted(config.jobs_speedup.items())
         )
+        pivot = ""
+        if "pivot" in config.engines:
+            pivot = (
+                f" pivot={config.engines['pivot'].median_s:.3f}s"
+                f"(branches /{config.pivot_branch_reduction:.1f})"
+            )
         print(
             f"  k={config.k} tau={config.tau}: "
             f"legacy={legacy:.3f}s bitset={bitset:.3f}s "
-            f"speedup={config.speedup:.2f}x{scaling}{flag}"
+            f"speedup={config.speedup:.2f}x{pivot}{scaling}{flag}"
         )
         if verbose:
             for name, run in config.engines.items():
@@ -194,9 +204,16 @@ def _print_queries_report(report: QueriesReport) -> None:
     )
     for op in report.ops:
         flag = "" if op.identical_output else "  OUTPUT MISMATCH"
+        compile_note = ""
+        if op.cold_compile_median_s >= 0.0:
+            compile_note = (
+                f" compile cold={op.cold_compile_median_s:.4f}s "
+                f"warm={op.warm_compile_median_s:.4f}s"
+            )
         print(
             f"  {op.op} {op.params}: cold={op.cold_median_s:.4f}s "
-            f"warm={op.warm_median_s:.4f}s speedup={op.speedup:.2f}x{flag}"
+            f"warm={op.warm_median_s:.4f}s speedup={op.speedup:.2f}x"
+            f"{compile_note}{flag}"
         )
     print(f"  median warm speedup: {report.median_speedup:.2f}x")
 
@@ -228,6 +245,16 @@ def main(argv: list[str] | None = None) -> int:
                     f"{report.benchmark}: bitset {worst:.2f}x the legacy "
                     f"median somewhere (tolerance {1.0 + args.tolerance:.2f}x)"
                 )
+            for config in report.configs:
+                # The pivot tree must never branch more than the bitset
+                # tree it replaced (0.0 means the config never searched).
+                reduction = config.pivot_branch_reduction
+                if "pivot" in config.engines and 0.0 < reduction < 1.0:
+                    failures.append(
+                        f"{report.benchmark}: pivot branched more than "
+                        f"bitset at k={config.k} tau={config.tau} "
+                        f"(reduction {reduction:.2f}x)"
+                    )
 
     if args.suite in ("prune", "all"):
         prune_report = run_prune_bench(args.dataset, reps, scale)
@@ -250,6 +277,20 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  wrote {path}")
         if not queries_report.all_identical():
             failures.append("queries: warm-session outputs differ from cold")
+        for op in queries_report.ops:
+            if op.cold_compile_median_s < 0.0:
+                continue  # op carries no stats object, no phase laps
+            if op.cold_compile_median_s == 0.0:
+                failures.append(
+                    f"queries: cold {op.op} recorded no compile lap — the "
+                    "unified lowering should run exactly once per session"
+                )
+            if op.warm_compile_median_s != 0.0:
+                failures.append(
+                    f"queries: warm {op.op} recompiled "
+                    f"({op.warm_compile_median_s:.6f}s) — the session must "
+                    "replay the cached per-version artifact"
+                )
 
     if args.check and failures:
         for failure in failures:

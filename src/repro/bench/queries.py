@@ -24,6 +24,14 @@ Correctness gate: the two arms must produce bit-identical payloads
 (cliques, yield order, and — where the op takes a stats object — the
 stats counters) on every repetition; any disagreement is reported as
 ``identical_output: false`` and fails ``repro-bench --check``.
+
+Compile accounting: ops that carry a stats object also report the
+``compile`` phase lap per arm.  A cold session lowers the graph exactly
+once (the unified per-version ``CompiledGraph``) and derives each
+component's search view from it, so ``cold_compile_median_s`` is the
+price of that single lowering; the warm arm replays cached artifacts,
+so its compile lap must be exactly zero — ``repro-bench --check``
+enforces both.
 """
 
 from __future__ import annotations
@@ -49,8 +57,14 @@ __all__ = [
 ]
 
 #: One workload operation: runs against a session, returns a comparable
-#: payload (results + stats counters) used for the identical-output gate.
-Op = tuple[str, dict[str, object], Callable[[PreparedGraph], object]]
+#: payload (results + stats counters) used for the identical-output gate
+#: plus the phase laps of the run (empty for ops without a stats object —
+#: wall clocks never participate in the gate).
+Op = tuple[
+    str,
+    dict[str, object],
+    Callable[[PreparedGraph], tuple[object, dict[str, float]]],
+]
 
 
 @dataclass
@@ -65,6 +79,12 @@ class QueryOpResult:
     warm_median_s: float
     speedup: float
     identical_output: bool
+    #: Median ``compile`` phase lap per arm (-1.0 for ops that carry no
+    #: stats object and so record no phase laps).  Cold pays one unified
+    #: whole-graph lowering plus per-component view derivation; warm
+    #: must be exactly 0.0.
+    cold_compile_median_s: float = -1.0
+    warm_compile_median_s: float = -1.0
 
 
 @dataclass
@@ -119,30 +139,35 @@ def _workload(graph: UncertainGraph) -> list[Op]:
     anchor, partner = _anchor_nodes(graph)
 
     def enum_op(k: int, tau: float) -> Op:
-        def run(session: PreparedGraph) -> object:
+        def run(session: PreparedGraph) -> tuple[object, dict[str, float]]:
             stats = EnumerationStats()
             cliques = list(session.maximal_cliques(k, tau, stats=stats))
-            return cliques, dict(asdict(stats))
+            payload = cliques, dict(asdict(stats))
+            return payload, dict(stats.timings.laps)
 
         return ("enumeration", {"k": k, "tau": tau}, run)
 
     def max_op(k: int, tau: float) -> Op:
-        def run(session: PreparedGraph) -> object:
+        def run(session: PreparedGraph) -> tuple[object, dict[str, float]]:
             stats = MaximumSearchStats()
             best = session.max_uc_plus(k, tau, stats=stats)
-            return best, dict(asdict(stats))
+            payload = best, dict(asdict(stats))
+            return payload, dict(stats.timings.laps)
 
         return ("maximum", {"k": k, "tau": tau}, run)
 
     def containing_op(k: int, tau: float) -> Op:
-        def run(session: PreparedGraph) -> object:
-            return list(session.cliques_containing(anchor, k, tau))
+        def run(session: PreparedGraph) -> tuple[object, dict[str, float]]:
+            return list(session.cliques_containing(anchor, k, tau)), {}
 
         return ("cliques_containing", {"node": str(anchor), "k": k, "tau": tau}, run)
 
     def exists_op(k: int, tau: float) -> Op:
-        def run(session: PreparedGraph) -> object:
-            return session.containing_clique_exists([anchor, partner], k, tau)
+        def run(session: PreparedGraph) -> tuple[object, dict[str, float]]:
+            answer = session.containing_clique_exists(
+                [anchor, partner], k, tau
+            )
+            return answer, {}
 
         return (
             "containing_clique_exists",
@@ -176,19 +201,24 @@ def run_queries_bench(
 
     cold_times: list[list[float]] = [[] for _ in ops]
     warm_times: list[list[float]] = [[] for _ in ops]
+    cold_compile: list[list[float]] = [[] for _ in ops]
+    warm_compile: list[list[float]] = [[] for _ in ops]
     identical = [True] * len(ops)
     for _ in range(repetitions):
         for index, (_, _, run) in enumerate(ops):
             start = time.perf_counter()
-            cold_payload = run(PreparedGraph(graph))
+            cold_payload, cold_phases = run(PreparedGraph(graph))
             cold_times[index].append(time.perf_counter() - start)
 
             start = time.perf_counter()
-            warm_payload = run(warm_session)
+            warm_payload, warm_phases = run(warm_session)
             warm_times[index].append(time.perf_counter() - start)
 
             if cold_payload != warm_payload:
                 identical[index] = False
+            if cold_phases:
+                cold_compile[index].append(cold_phases.get("compile", 0.0))
+                warm_compile[index].append(warm_phases.get("compile", 0.0))
 
     results: list[QueryOpResult] = []
     for index, (name, params, _) in enumerate(ops):
@@ -206,6 +236,16 @@ def run_queries_bench(
                     cold_median / warm_median if warm_median > 0.0 else 0.0
                 ),
                 identical_output=identical[index],
+                cold_compile_median_s=(
+                    _median(cold_compile[index])
+                    if cold_compile[index]
+                    else -1.0
+                ),
+                warm_compile_median_s=(
+                    _median(warm_compile[index])
+                    if warm_compile[index]
+                    else -1.0
+                ),
             )
         )
 

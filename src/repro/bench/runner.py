@@ -6,9 +6,9 @@ Wall-clock comparisons between in-process arms on a noisy machine need
 two defenses, both applied here:
 
 * **Interleaving** — each repetition runs *every* arm back to back
-  (legacy, bitset, then each ``bitset-jN`` parallel arm) before the next
-  repetition starts, so slow drift in machine load lands on all sides
-  rather than biasing whichever arm happened to run last.
+  (legacy, bitset, pivot, then each ``bitset-jN`` parallel arm) before
+  the next repetition starts, so slow drift in machine load lands on all
+  sides rather than biasing whichever arm happened to run last.
 * **Median of N** — the reported time per arm is the median over the
   repetitions, which throws away one-off spikes that a mean would absorb.
 
@@ -17,7 +17,11 @@ enumeration, the same cliques in the same yield order) and identical
 statistics counters — across engines *and* across worker counts.  A
 benchmark whose arms disagree is reported with ``identical_output:
 false`` and fails the ``--check`` gate — a speedup over wrong answers is
-not a speedup.
+not a speedup.  The pivot arm's contract is *set* identity (pivoting
+reorders emission but must yield exactly the same cliques, each once);
+its per-config ``pivot_branch_reduction`` records the bitset engine's
+``search_calls`` over the pivot engine's — the branch-tree shrink the
+absorbing Tomita pivot buys.
 
 Scaling axis
 ------------
@@ -64,7 +68,7 @@ __all__ = [
     "run_maximum_bench",
 ]
 
-ENGINES: tuple[Engine, ...] = ("legacy", "bitset")
+ENGINES: tuple[Engine, ...] = ("legacy", "bitset", "pivot")
 
 #: Arm descriptor: display name, underlying engine, worker count.
 Arm = tuple[str, Engine, int]
@@ -90,6 +94,9 @@ class ConfigResult:
     speedup: float
     jobs_speedup: dict[str, float]
     identical_output: bool
+    #: bitset search_calls / pivot search_calls (enumeration only; 0.0
+    #: when the config has no pivot arm or no recursion ran).
+    pivot_branch_reduction: float = 0.0
 
 
 def collect_provenance() -> dict[str, object]:
@@ -167,8 +174,10 @@ def _median(values: list[float]) -> float:
     return float(statistics.median(values))
 
 
-def _arms(jobs: list[int]) -> list[Arm]:
+def _arms(jobs: list[int], pivot: bool = False) -> list[Arm]:
     arms: list[Arm] = [("legacy", "legacy", 1), ("bitset", "bitset", 1)]
+    if pivot:
+        arms.append(("pivot", "pivot", 1))
     for j in jobs:
         if j > 1:
             arms.append((f"bitset-j{j}", "bitset", j))
@@ -217,7 +226,7 @@ def run_enumeration_bench(
 ) -> BenchReport:
     """Benchmark ``muce_plus_plus`` across engines and worker counts."""
     jobs = jobs if jobs is not None else [1]
-    arms = _arms(jobs)
+    arms = _arms(jobs, pivot=True)
     graph = load_dataset(dataset, scale=scale)
     results: list[ConfigResult] = []
     env_jobs = os.environ.pop("REPRO_JOBS", None)
@@ -237,6 +246,20 @@ def run_enumeration_bench(
             for run in runs.values():
                 run.median_s = _median(run.times_s)
             legacy, bitset = runs["legacy"], runs["bitset"]
+            pivot = runs["pivot"]
+            # Order-identical arms match legacy bit for bit; the pivot
+            # arm reorders emission, so its gate is set identity with no
+            # duplicates and the same clique count.
+            identical = all(
+                outputs[name] == outputs["legacy"]
+                and runs[name].stats == legacy.stats
+                for name, _, _ in arms
+                if name != "pivot"
+            ) and (
+                len(outputs["pivot"]) == len(set(outputs["pivot"]))
+                and set(outputs["pivot"]) == set(outputs["legacy"])
+                and pivot.stats["cliques"] == legacy.stats["cliques"]
+            )
             results.append(
                 ConfigResult(
                     k=k,
@@ -248,10 +271,12 @@ def run_enumeration_bench(
                         else 0.0
                     ),
                     jobs_speedup=_jobs_speedup(runs),
-                    identical_output=all(
-                        outputs[name] == outputs["legacy"]
-                        and runs[name].stats == legacy.stats
-                        for name, _, _ in arms
+                    identical_output=identical,
+                    pivot_branch_reduction=(
+                        bitset.stats["search_calls"]
+                        / pivot.stats["search_calls"]
+                        if pivot.stats.get("search_calls", 0) > 0
+                        else 0.0
                     ),
                 )
             )

@@ -258,11 +258,12 @@ def _build_parser(runners: dict[str, Runner]) -> argparse.ArgumentParser:
     # query options (--engine also applies to 'mine')
     parser.add_argument(
         "--engine",
-        choices=("bitset", "legacy"),
-        default="bitset",
+        choices=("pivot", "bitset", "legacy"),
+        default="pivot",
         help=(
-            "search engine for the query command (default bitset; "
-            "bitset also routes pruning through the compiled arrays "
+            "search engine for the query command (default pivot: the "
+            "compiled kernel with absorbing Tomita pivoting; pivot and "
+            "bitset also route pruning through the compiled arrays "
             "kernel)"
         ),
     )

@@ -34,6 +34,11 @@ from repro.core.enumeration import (
 from repro.core.kernel import (
     CompiledComponent,
     compile_component,
+    derive_component_view,
+)
+from repro.core.prune_kernel import (
+    CompiledGraph,
+    compile_graph,
 )
 from repro.core.bruteforce import (
     brute_force_maximal_cliques,
@@ -55,6 +60,7 @@ from repro.core.maximum import (
 from repro.core.topr import top_r_maximal_cliques
 from repro.core.pipeline import (
     CutArtifact,
+    compile_stage,
     prune_stage,
     cut_stage,
     compile_enumeration_stage,
@@ -104,7 +110,10 @@ __all__ = [
     "muce_plus_plus",
     "EnumerationStats",
     "CompiledComponent",
+    "CompiledGraph",
     "compile_component",
+    "compile_graph",
+    "derive_component_view",
     "brute_force_maximal_cliques",
     "brute_force_maximum_clique",
     "brute_force_tau_degree",
@@ -118,6 +127,7 @@ __all__ = [
     "MaximumSearchStats",
     "top_r_maximal_cliques",
     "CutArtifact",
+    "compile_stage",
     "prune_stage",
     "cut_stage",
     "compile_enumeration_stage",

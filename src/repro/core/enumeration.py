@@ -63,10 +63,14 @@ __all__ = [
 
 PruningRule = Literal["topk", "ktau", "none"]
 
-#: Search-core selector: ``"bitset"`` runs the compiled kernel of
-#: :mod:`repro.core.kernel`; ``"legacy"`` the original dict-of-dicts
-#: recursion.  Outputs are identical (see ``tests/core/test_kernel_parity``).
-Engine = Literal["bitset", "legacy"]
+#: Search-core selector: ``"pivot"`` runs the compiled kernel of
+#: :mod:`repro.core.kernel` with absorbing Tomita pivoting (smallest
+#: recursion tree); ``"bitset"`` the same kernel without pivoting — the
+#: yield-order oracle, bit-identical to ``"legacy"``, the original
+#: dict-of-dicts recursion.  ``"pivot"`` emits the identical *set* of
+#: cliques with bit-identical per-clique probabilities but in pivot
+#: branch order (see ``tests/core/test_kernel_parity``).
+Engine = Literal["pivot", "bitset", "legacy"]
 
 
 @dataclass
@@ -88,6 +92,8 @@ class EnumerationStats:
     search_calls: int = 0
     insearch_prunes: int = 0
     branch_size_prunes: int = 0
+    pivot_branches: int = 0
+    pivot_skipped: int = 0
     cliques: int = 0
 
     def __post_init__(self) -> None:
@@ -131,7 +137,7 @@ def maximal_cliques(
     cut: bool = True,
     insearch: bool = True,
     stats: EnumerationStats | None = None,
-    engine: Engine = "bitset",
+    engine: Engine = "pivot",
     jobs: int | None = 1,
 ) -> Iterator[frozenset[Node]]:
     """Enumerate all maximal (k, tau)-cliques of ``graph``.
@@ -149,18 +155,22 @@ def maximal_cliques(
     stats:
         optional mutable counter object filled in while enumerating.
     engine:
-        ``"bitset"`` (default) compiles each component to dense ids and
-        bitmask adjacency before searching (:mod:`repro.core.kernel`);
-        ``"legacy"`` keeps the original dict-of-dicts recursion.  Both
-        yield identical cliques in identical order with identical stats.
+        ``"pivot"`` (default) compiles each component to dense ids and
+        bitmask adjacency and searches with absorbing Tomita pivoting —
+        the same *set* of cliques with bit-identical per-clique
+        probabilities, in pivot branch order; ``"bitset"`` is the same
+        kernel without pivoting and ``"legacy"`` the original
+        dict-of-dicts recursion — those two yield identical cliques in
+        identical order with identical stats, and are the yield-order
+        oracles for the pivot engine.
     jobs:
         worker processes for the search phase.  ``1`` (default) searches
         in-process; ``None`` uses ``os.cpu_count()``; the ``REPRO_JOBS``
         environment variable overrides the default (see
         :func:`repro.core.parallel.resolve_jobs`).  Results are merged
         deterministically, so any ``jobs`` value yields bit-identical
-        cliques, order, and stats counters.  Only the bitset engine
-        parallelizes; ``engine="legacy"`` ignores ``jobs`` and stays
+        cliques, order, and stats counters.  Only the compiled engines
+        parallelize; ``engine="legacy"`` ignores ``jobs`` and stays
         sequential (the legacy recursion is interleaved with consumers
         and cannot be shipped to workers).
 
@@ -362,7 +372,7 @@ def muce(
     k: int,
     tau: float,
     stats: EnumerationStats | None = None,
-    engine: Engine = "bitset",
+    engine: Engine = "pivot",
     jobs: int | None = 1,
 ) -> Iterator[frozenset[Node]]:
     """The Mukherjee et al. [18], [19] baseline: set-enumeration search with
@@ -378,7 +388,7 @@ def muce_plus(
     k: int,
     tau: float,
     stats: EnumerationStats | None = None,
-    engine: Engine = "bitset",
+    engine: Engine = "pivot",
     jobs: int | None = 1,
 ) -> Iterator[frozenset[Node]]:
     """Algorithm 4 with the (k, tau)-core pruning rule (``MUCE+``)."""
@@ -393,7 +403,7 @@ def muce_plus_plus(
     k: int,
     tau: float,
     stats: EnumerationStats | None = None,
-    engine: Engine = "bitset",
+    engine: Engine = "pivot",
     jobs: int | None = 1,
 ) -> Iterator[frozenset[Node]]:
     """Algorithm 4 with the (Top_k, tau)-core pruning rule (``MUCE++``)."""

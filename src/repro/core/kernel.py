@@ -63,6 +63,7 @@ from array import array
 from time import perf_counter
 from typing import TYPE_CHECKING, Iterator
 
+from repro.core.prune_kernel import CompiledGraph, node_sort_key
 from repro.core.topk_core import topk_peel_masks
 from repro.deterministic.coloring import greedy_coloring
 from repro.uncertain.graph import Node, UncertainGraph
@@ -74,11 +75,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guards (types only)
 __all__ = [
     "CompiledComponent",
     "compile_component",
+    "derive_component_view",
     "node_sort_key",
     "iter_bits",
     "enumerate_component",
     "enum_root_prep",
     "enumerate_root_range",
+    "pivot_root_plan",
+    "enumerate_pivot_range",
     "maximum_component",
     "maximum_compiled",
     "KERNEL_COMPONENT_LIMIT",
@@ -104,14 +108,15 @@ _DENSE_ROW_LIMIT = 1024
 KERNEL_COMPONENT_LIMIT = _DENSE_ROW_LIMIT
 
 
-def node_sort_key(node: Node) -> tuple[str, str]:
-    """Deterministic total order over arbitrary hashable nodes.
-
-    Single definition of the library's node order; the search drivers and
-    the compiler below share it, and compilation evaluates it exactly once
-    per node.
-    """
-    return (type(node).__name__, str(node))
+#: Conservative relative safety margin on the pivot absorption test.
+#: Skipping the branches of an absorbed set ``T`` is sound only when the
+#: canonical witness chain of every sub-clique would clear the floor;
+#: the greedy absorption computes ``CPr(R + T + {u})`` in its own
+#: (incremental) multiplication order, so the skip threshold is raised
+#: by more than the worst-case reassociation rounding error (bounded by
+#: ``#factors * 2^-53 < 1e-10`` within a component of <= 1024 nodes) —
+#: a skip can then never lose a clique the oracle engines would emit.
+_PIVOT_SAFETY = 1.0 + 1e-9
 
 
 class CompiledComponent:
@@ -247,6 +252,57 @@ class CompiledComponent:
 def compile_component(graph: UncertainGraph) -> CompiledComponent:
     """Compile ``graph`` (typically one connected component) for search."""
     return CompiledComponent(graph)
+
+
+def derive_component_view(
+    compiled: CompiledGraph, members: list[Node]
+) -> CompiledComponent:
+    """Build a component's :class:`CompiledComponent` from the unified
+    whole-graph artifact, without touching the :class:`UncertainGraph`.
+
+    ``members`` must be the node set of one pipeline component of the
+    graph ``compiled`` was lowered from: the pruning stage removes
+    *nodes* (edges among survivors are untouched) and every edge the cut
+    optimization removes crosses two final components — so filtering the
+    whole-graph rows to ``members`` reproduces the component's adjacency
+    exactly.  The view is bit-identical to
+    ``compile_component(component)``:
+
+    * local ids renumber ``members`` by ascending ``sort_rank``, which
+      restricted to any subset equals the component's own
+      :func:`node_sort_key` sort;
+    * each CSR row is the member-filtered slice of the whole-graph
+      lazily-sorted ``desc_row`` — ordered by
+      ``(-probability, sort_rank)``, whose restriction to members *is*
+      the component order ``(-probability, local_id)`` (local ids are
+      monotone in rank), with the identical float objects;
+    * every derived form (bitmask rows, dense rows, dicts) is rebuilt
+      from that CSR by the same code the pickle path uses.
+
+    Runs in ``O(sum of member degrees)`` — no sorting, no string keys —
+    which is what collapses the pipeline's second compile stage into a
+    cheap projection of the first.
+    """
+    index = compiled.index
+    rank = compiled.sort_rank
+    gids = sorted((index[u] for u in members), key=rank.__getitem__)
+    local: dict[int, int] = {g: i for i, g in enumerate(gids)}
+    nodes: list[Node] = [compiled.nodes[g] for g in gids]
+    row_offsets = array("l", [0])
+    nbr_ids = array("l")
+    nbr_probs = array("d")
+    get = local.get
+    for g in gids:
+        dids, dps = compiled.desc_row(g)
+        for j, gid in enumerate(dids):
+            li = get(gid)
+            if li is not None:
+                nbr_ids.append(li)
+                nbr_probs.append(dps[j])
+        row_offsets.append(len(nbr_ids))
+    view = CompiledComponent.__new__(CompiledComponent)
+    view.__setstate__((nodes, row_offsets, nbr_ids, nbr_probs))
+    return view
 
 
 def iter_bits(mask: int) -> Iterator[int]:
@@ -700,6 +756,396 @@ def enumerate_root_range(
     stats.insearch_prunes += insearch_prunes
     stats.branch_size_prunes += branch_prunes
     stats.cliques += cliques
+    return out
+
+
+# ----------------------------------------------------------------------
+# Pivot engine: Tomita-style greedy pivoting on the MUC recursion
+# ----------------------------------------------------------------------
+#
+# The classic Bron-Kerbosch pivot rule — pick the pivot u maximizing
+# |C & Γ(u)| and branch only on C \ Γ(u) — is UNSOUND for (k, tau)-
+# cliques as stated: K subset of R + (C & Γ(u)) being structurally
+# extendable by u does not imply CPr(K + {u}) >= tau, so K can be
+# maximal even though u is adjacent to all of it.  The sound variant
+# implemented here is the *absorbing* pivot: after choosing u by
+# popcount coverage, greedily grow an absorption set T inside C & Γ(u)
+# while R + T + {u} stays a structural clique AND its clique probability
+# stays above the (safety-margined) threshold.  Then for every
+# K subset of R + T, the superset chain gives
+# CPr(K + {u}) >= CPr(R + T + {u}) >= tau, so u extends K and K is not
+# maximal — branching on T can be skipped wholesale.  Vertices outside
+# T still branch, and the skipped vertices are *carried forward* into
+# every child's candidate list (a child of branch q receives
+# (C \ branched-so-far) & Γ_tau(q), absorbed members included), which
+# preserves the unique-path argument: a clique's next vertex is always
+# its first member in branch order, so no clique is reached twice.
+#
+# Emission stays on the oracle predicate: at a leaf the clique
+# probability and every witness chain are *recomputed in canonical
+# ascending-id order* — the exact nested float sequence the bitset and
+# legacy engines build along their paths — so the emitted set of
+# cliques, and each clique's probability chain, are bit-identical to
+# ``engine="bitset"``.  (The descent filters multiply in pivot path
+# order; a filter verdict can in principle differ from the canonical
+# one when a partial product lands within ~1 ulp of the threshold
+# floor, a measure-zero event documented in docs/performance.md and
+# never observed by the parity suites.)  Yield order follows the pivot
+# recursion and therefore differs from the oracle engines; parity is on
+# the set.
+
+
+def pivot_root_plan(
+    comp: CompiledComponent,
+    k: int,
+    tau_floor: float,
+    min_size: int,
+    cands: list[tuple[int, float]],
+    stats: EnumerationStats,
+) -> list[int]:
+    """Choose the root pivot and absorption set for the pivot engine.
+
+    ``cands`` is the surviving root candidate list from
+    :func:`enum_root_prep`.  Returns the root *branch list* — the
+    candidate ids to branch on, ascending — after absorbing the skipped
+    set, and counts the root node's pivot bookkeeping into ``stats``
+    (exactly once: the parallel layer computes the plan in the driver
+    and ships it to every range task).
+    """
+    rows = comp.rows
+    if rows is None:
+        raise ValueError(
+            "pivot_root_plan requires a component within "
+            f"KERNEL_COMPONENT_LIMIT ({KERNEL_COMPONENT_LIMIT})"
+        )
+    adj = comp.adj
+    bits = comp.bits
+    skip_mask = 0
+    if len(cands) > 1:
+        cand_mask = 0
+        for e in cands:
+            cand_mask |= bits[e[0]]
+        best_u = -1
+        best_cover = -1
+        for u, _pi_u in cands:
+            cover = (adj[u] & cand_mask).bit_count()
+            if cover > best_cover:
+                best_cover = cover
+                best_u = u
+        if best_cover > 0:
+            skip_floor = tau_floor * _PIVOT_SAFETY
+            t_adj = adj[best_u]
+            budget = 1.0  # root clique probability
+            urow = rows[best_u]
+            t_list: list[int] = []
+            for v, _pi_v in cands:
+                if v == best_u:
+                    continue
+                bv = bits[v]
+                if not bv & t_adj:
+                    continue
+                prod = budget * urow[v]
+                if prod < skip_floor:  # repro-lint: ignore[RPL001]
+                    continue
+                ok = True
+                vrow = rows[v]
+                for t in t_list:
+                    prod *= vrow[t]
+                    if prod < skip_floor:  # repro-lint: ignore[RPL001]
+                        ok = False
+                        break
+                if ok:
+                    skip_mask |= bv
+                    t_list.append(v)
+                    t_adj &= adj[v]
+                    budget = prod
+    branches = [e[0] for e in cands if not bits[e[0]] & skip_mask]
+    stats.pivot_branches += len(branches)
+    stats.pivot_skipped += len(cands) - len(branches)
+    return branches
+
+
+def enumerate_pivot_range(
+    comp: CompiledComponent,
+    k: int,
+    tau_floor: float,
+    min_size: int,
+    insearch: bool,
+    insearch_min_candidates: int,
+    cands: list[tuple[int, float]],
+    branches: list[int],
+    start: int,
+    stop: int,
+    stats: EnumerationStats,
+) -> list[frozenset[Node]]:
+    """Pivot-engine search of the root branches ``branches[start:stop]``.
+
+    ``cands`` must be the full surviving root candidate list from
+    :func:`enum_root_prep` and ``branches`` the root branch list from
+    :func:`pivot_root_plan`.  Unlike the bitset engine's suffix ranges,
+    a pivot branch's candidate tail carries the absorbed (skipped)
+    vertices *before* it as well, so the root loop filters ``cands`` by
+    a live remaining-mask rather than slicing.  Branches before
+    ``start`` are silently replayed — the same popcount and threshold
+    verdicts, minus recursion, stats and output — so any partition of
+    ``range(len(branches))`` concatenates to the sequential result with
+    stats summing to the sequential totals (``jobs=N`` bit-parity).
+    """
+    n = comp.n
+    rows = comp.rows
+    if rows is None:
+        raise ValueError(
+            "enumerate_pivot_range requires a component within "
+            f"KERNEL_COMPONENT_LIMIT ({KERNEL_COMPONENT_LIMIT}), got {n}"
+        )
+    adj = comp.adj
+    bits = comp.bits
+    nodes = comp.nodes
+    skip_floor = tau_floor * _PIVOT_SAFETY
+    out: list[frozenset[Node]] = []
+    # Batched stats, flushed once per range (attribute access on the
+    # stats object is too slow for the recursion's call volume).
+    calls = insearch_prunes = branch_prunes = cliques = 0
+    pbranches = pskipped = 0
+
+    def rec(
+        clique: list[int],
+        clique_len: int,
+        clique_prob: float,
+        cands: list[tuple[int, float]],
+        common: int,
+        banned: int,
+    ) -> None:
+        # One node of the absorbing-pivot recursion.  ``cands`` holds
+        # (id, pi) pairs in ascending id order with pi the incremental
+        # product to the clique *in pivot path order*; ``common`` is the
+        # intersection of adj[r] over the clique and ``banned`` the
+        # branch-size-pruned ids (the virtual-X machinery of the bitset
+        # engine, unchanged — carried-forward candidates that die on a
+        # filter are caught by the leaf witness scan automatically).
+        nonlocal calls, insearch_prunes, branch_prunes, cliques
+        nonlocal pbranches, pskipped
+        calls += 1
+        if not cands:
+            # Leaf: recompute the canonical ascending-order chain (the
+            # float sequence the oracle engines built along their path)
+            # and run the witness scan against it — emission decisions
+            # are bit-identical to engine="bitset".
+            if clique_len >= min_size:
+                order = sorted(clique)
+                prob = 1.0
+                for j in range(clique_len):
+                    vj = order[j]
+                    pi = 1.0
+                    for i in range(j):
+                        pi *= rows[order[i]][vj]
+                    prob = prob * pi
+                if prob >= tau_floor:  # repro-lint: ignore[RPL001]
+                    wit = common & ~banned
+                    blocked = False
+                    base = 0
+                    while wit:
+                        chunk = wit & _CHUNK_MASK
+                        wit >>= 64
+                        while chunk:
+                            low = chunk & -chunk
+                            chunk ^= low
+                            w = base + low.bit_length() - 1
+                            pi = 1.0
+                            for r in order:
+                                pi *= rows[r][w]
+                                # Hot path: precomputed threshold_floor.
+                                if prob * pi < tau_floor:  # repro-lint: ignore[RPL001]
+                                    break
+                            else:
+                                blocked = True
+                                wit = 0
+                                break
+                        base += 64
+                    if not blocked:
+                        cliques += 1
+                        out.append(frozenset(nodes[x] for x in clique))
+            return
+
+        nc = len(cands)
+        if nc >= insearch_min_candidates and insearch and clique_len < min_size:
+            # In-search (Top_k, tau)-core gate, identical to the bitset
+            # engine's (Algorithm 4 lines 12-15).
+            cand_mask = 0
+            for e in cands:
+                cand_mask |= bits[e[0]]
+            clique_mask = 0
+            for r in clique:
+                clique_mask |= bits[r]
+            alive = topk_peel_masks(
+                comp, clique_mask | cand_mask, clique_mask, k, tau_floor
+            )
+            if alive is None or alive.bit_count() < min_size:
+                insearch_prunes += 1
+                return
+            pruned = alive & cand_mask
+            if pruned != cand_mask:
+                insearch_prunes += 1
+                cands = [e for e in cands if pruned >> e[0] & 1]
+                nc = len(cands)
+
+        cand_mask = 0
+        for e in cands:
+            cand_mask |= bits[e[0]]
+
+        # Pivot selection: max structural coverage by popcount, ties to
+        # the lowest id (deterministic).  Then greedy absorption: grow T
+        # inside C & Γ(u) while R + T + {u} stays a structural clique
+        # whose running clique probability clears the safety-margined
+        # floor — every sub-clique of R + T is then non-maximal (u
+        # extends it), so T never branches.
+        skip_mask = 0
+        if nc > 1:
+            best_u = -1
+            best_pi = 1.0
+            best_cover = -1
+            for u, pi_u in cands:
+                cover = (adj[u] & cand_mask).bit_count()
+                if cover > best_cover:
+                    best_cover = cover
+                    best_u = u
+                    best_pi = pi_u
+            if best_cover > 0:
+                t_adj = adj[best_u]
+                budget = clique_prob * best_pi
+                urow = rows[best_u]
+                t_list: list[int] = []
+                for v, pi_v in cands:
+                    if v == best_u:
+                        continue
+                    bv = bits[v]
+                    if not bv & t_adj:
+                        continue
+                    prod = budget * pi_v * urow[v]
+                    if prod < skip_floor:  # repro-lint: ignore[RPL001]
+                        continue
+                    ok = True
+                    vrow = rows[v]
+                    for t in t_list:
+                        prod *= vrow[t]
+                        if prod < skip_floor:  # repro-lint: ignore[RPL001]
+                            ok = False
+                            break
+                    if ok:
+                        skip_mask |= bv
+                        t_list.append(v)
+                        t_adj &= adj[v]
+                        budget = prod
+
+        prune_live = clique_len + 1 < min_size
+        need = min_size - clique_len - 1
+        child_len = clique_len + 1
+        rem_mask = cand_mask
+        branched = 0
+        for u, pi_u in cands:
+            bu = bits[u]
+            if bu & skip_mask:
+                continue
+            branched += 1
+            rem_mask ^= bu
+            if prune_live and (rem_mask & adj[u]).bit_count() < need:
+                # Branch-size prune (Algorithm 4, line 19): the popcount
+                # over-approximates the child candidate count (absorbed
+                # vertices stay in rem_mask), so the bound is sound.
+                branch_prunes += 1
+                banned |= bu
+                continue
+            new_prob = clique_prob * pi_u
+            urow = rows[u]
+            new_cands = []
+            for v, pi_v in cands:
+                if not rem_mask & bits[v]:
+                    continue  # already branched (or u itself)
+                p = urow[v]
+                if p:
+                    piv = pi_v * p
+                    if new_prob * piv >= tau_floor:  # repro-lint: ignore[RPL001]
+                        new_cands.append((v, piv))
+            if prune_live and len(new_cands) < need:
+                branch_prunes += 1
+                banned |= bu
+                continue
+            clique.append(u)
+            rec(clique, child_len, new_prob, new_cands, common & adj[u],
+                banned)
+            clique.pop()
+        pbranches += branched
+        pskipped += nc - branched
+
+    # Root branch loop over the plan's branch list, with silent replay
+    # of the branches before ``start``.  Root pi values are exactly 1.0
+    # and the root clique probability is 1.0, so the replayed threshold
+    # verdict for a child candidate v of branch u is ``p(u, v) >=
+    # tau_floor`` — the same float compare the live loop runs.
+    need = min_size - 1
+    prune_live = min_size > 1
+    rem_mask = 0
+    for e in cands:
+        rem_mask |= bits[e[0]]
+    banned = 0
+    for idx in range(start):
+        u = branches[idx]
+        bu = bits[u]
+        rem_mask ^= bu
+        if not prune_live:
+            continue
+        if (rem_mask & adj[u]).bit_count() < need:
+            banned |= bu
+            continue
+        urow = rows[u]
+        survivors = 0
+        for v, _pi_v in cands:
+            if not rem_mask & bits[v]:
+                continue
+            p = urow[v]
+            # Replayed verdict of the live filter below; counting can
+            # stop at ``need`` because the filter is append-only.
+            if p and p >= tau_floor:  # repro-lint: ignore[RPL001]
+                survivors += 1
+                if survivors >= need:
+                    break
+        if survivors < need:
+            banned |= bu
+    full = comp.full_mask
+    clique: list[int] = []
+    for idx in range(start, stop):
+        u = branches[idx]
+        bu = bits[u]
+        rem_mask ^= bu
+        if prune_live and (rem_mask & adj[u]).bit_count() < need:
+            branch_prunes += 1
+            banned |= bu
+            continue
+        urow = rows[u]
+        new_cands = []
+        for v, pi_v in cands:
+            if not rem_mask & bits[v]:
+                continue
+            p = urow[v]
+            if p:
+                piv = pi_v * p
+                # Root clique_prob is exactly 1.0: new_prob == pi_u == 1.0.
+                if piv >= tau_floor:  # repro-lint: ignore[RPL001]
+                    new_cands.append((v, piv))
+        if prune_live and len(new_cands) < need:
+            branch_prunes += 1
+            banned |= bu
+            continue
+        clique.append(u)
+        rec(clique, 1, 1.0, new_cands, full & adj[u], banned)
+        clique.pop()
+
+    stats.search_calls += calls
+    stats.insearch_prunes += insearch_prunes
+    stats.branch_size_prunes += branch_prunes
+    stats.cliques += cliques
+    stats.pivot_branches += pbranches
+    stats.pivot_skipped += pskipped
     return out
 
 

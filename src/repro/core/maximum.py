@@ -66,6 +66,8 @@ class MaximumSearchStats:
     advanced_one_prunes: int = 0
     advanced_two_prunes: int = 0
     insearch_prunes: int = 0
+    pivot_branches: int = 0
+    pivot_skipped: int = 0
     best_size: int = 0
 
     def __post_init__(self) -> None:
@@ -94,8 +96,11 @@ class MaximumSearchStats:
 _node_sort_key = node_sort_key
 
 #: Search-core selector for :func:`max_uc_plus` (same contract as
-#: :data:`repro.core.enumeration.Engine`).
-Engine = Literal["bitset", "legacy"]
+#: :data:`repro.core.enumeration.Engine`).  The branch-and-bound's
+#: DFS-first output depends on branch order, so ``"pivot"`` runs the
+#: exact bitset search (identical outputs and stats; the pivot counters
+#: stay zero) — only the enumeration recursion pivots.
+Engine = Literal["pivot", "bitset", "legacy"]
 
 
 # ----------------------------------------------------------------------
@@ -263,7 +268,7 @@ def max_uc_plus(
     use_advanced_one: bool = True,
     use_advanced_two: bool = True,
     insearch: bool = True,
-    engine: Engine = "bitset",
+    engine: Engine = "pivot",
     jobs: int | None = 1,
 ) -> frozenset[Node] | None:
     """Maximum (k, tau)-clique with core/cut pruning and color bounds.

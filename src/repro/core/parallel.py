@@ -63,8 +63,10 @@ from repro.core.kernel import (
     CompiledComponent,
     compile_component,
     enum_root_prep,
+    enumerate_pivot_range,
     enumerate_root_range,
     maximum_compiled,
+    pivot_root_plan,
 )
 from repro.core.maximum import MaximumSearchStats
 from repro.deterministic.coloring import greedy_coloring
@@ -169,6 +171,33 @@ def _enum_task(
     return out, stats
 
 
+def _pivot_task(
+    comp: CompiledComponent,
+    k: int,
+    tau_floor: float,
+    min_size: int,
+    insearch: bool,
+    insearch_min_candidates: int,
+    cands: list[tuple[int, float]],
+    branches: list[int],
+    start: int,
+    stop: int,
+) -> tuple[list[frozenset[Node]], EnumerationStats]:
+    """Worker: pivot-engine search of one root *branch-list* range.
+
+    The driver computed the root plan (pivot + absorption) once and
+    ships the resulting branch list; the range function replays the
+    branches before ``start`` silently, so per-range counters sum to the
+    sequential totals exactly as in the bitset path.
+    """
+    stats = EnumerationStats()
+    out = enumerate_pivot_range(
+        comp, k, tau_floor, min_size, insearch, insearch_min_candidates,
+        cands, branches, start, stop, stats,
+    )
+    return out, stats
+
+
 def _legacy_component(
     component: UncertainGraph,
     k: int,
@@ -203,6 +232,7 @@ def enumerate_parallel(
     n_jobs: int,
     stats: EnumerationStats,
     compiled: Sequence[CompiledComponent | None] | None = None,
+    engine: str = "bitset",
 ) -> Iterator[frozenset[Node]]:
     """Fan the per-component enumeration over ``n_jobs`` processes.
 
@@ -219,14 +249,21 @@ def enumerate_parallel(
     :func:`repro.core.pipeline.compile_enumeration_stage`); components it
     covers skip the in-driver compile, so a warm session pays nothing
     here.  Omitted or ``None`` entries are compiled in-driver as before.
+
+    ``engine="pivot"`` splits each component's root *branch list* (the
+    driver runs :func:`repro.core.kernel.pivot_root_plan` once, so the
+    branch order — and therefore the replayed root state of every range —
+    honors the root pivot's absorption) and ships the list to
+    :func:`repro.core.kernel.enumerate_pivot_range` tasks.
     """
     t_start = perf_counter()
     compile_s = 0.0
 
     # One slot per searched component, in order: either the oversized
-    # legacy fallback or the list of branch-range payloads.
+    # legacy fallback or the list of branch-range payloads (the branch
+    # list is None for the bitset engine, whose ranges slice cands).
     legacy_slot: dict[int, UncertainGraph] = {}
-    task_slot: dict[int, list[tuple[CompiledComponent, list[tuple[int, float]], int, int]]] = {}
+    task_slot: dict[int, list[tuple[CompiledComponent, list[tuple[int, float]], list[int] | None, int, int]]] = {}
     slot_order: list[int] = []
     for ordinal, component in enumerate(components):
         if component.num_nodes < min_size:
@@ -248,17 +285,28 @@ def enumerate_parallel(
         )
         if cands is None:
             continue
-        if min_size > 1 and len(cands) >= _MIN_SPLIT_ROOTS:
+        branches: list[int] | None = None
+        if engine == "pivot":
+            # Root plan in the driver (counted once); ranges partition
+            # the branch list, and absorbed candidates never split off.
+            branches = pivot_root_plan(comp, k, tau_floor, min_size,
+                                       cands, stats)
+            n_roots = len(branches)
+            splittable = n_roots >= _MIN_SPLIT_ROOTS
+        else:
+            n_roots = len(cands)
+            # Deep roots (min_size <= 1) are whole-range only for the
+            # bitset engine's enumerate_root_range.
+            splittable = min_size > 1 and n_roots >= _MIN_SPLIT_ROOTS
+        if splittable:
             ranges = branch_ranges(
-                len(cands),
-                min(n_jobs * _TASKS_PER_JOB, len(cands) // _MIN_SPLIT_ROOTS),
+                n_roots,
+                min(n_jobs * _TASKS_PER_JOB, n_roots // _MIN_SPLIT_ROOTS),
             )
         else:
-            # Small components — and deep roots (min_size <= 1), which
-            # enumerate_root_range only accepts whole — stay one task.
-            ranges = [(0, len(cands))]
+            ranges = [(0, n_roots)]
         task_slot[ordinal] = [
-            (comp, cands, start, stop) for start, stop in ranges
+            (comp, cands, branches, start, stop) for start, stop in ranges
         ]
         slot_order.append(ordinal)
 
@@ -281,10 +329,15 @@ def enumerate_parallel(
                 continue
             futures[ordinal] = [
                 pool.submit(
+                    _pivot_task, comp, k, tau_floor, min_size, insearch,
+                    insearch_min_candidates, cands, branches, start, stop,
+                )
+                if branches is not None
+                else pool.submit(
                     _enum_task, comp, k, tau_floor, min_size, insearch,
                     insearch_min_candidates, cands, start, stop,
                 )
-                for comp, cands, start, stop in task_slot[ordinal]
+                for comp, cands, branches, start, stop in task_slot[ordinal]
             ]
         for ordinal in slot_order:
             if ordinal in legacy_slot:

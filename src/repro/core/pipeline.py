@@ -10,11 +10,19 @@ parameters to a deterministic artifact:
   session layer supplied.
 * :func:`cut_stage` — cut optimization / component split (Lemma 5); returns
   the component subgraphs plus the counters the stats objects report.
+* :func:`compile_stage` — the **single whole-graph lowering**: one
+  parameter-free :class:`~repro.core.prune_kernel.CompiledGraph` per graph
+  version serves the prune peels *and* the per-component search views, so
+  a cold query compiles the graph exactly once.
 * :func:`compile_enumeration_stage` / :func:`compile_maximum_stage` /
   :func:`color_stage` — per-component search preparation: the picklable
-  :class:`~repro.core.kernel.CompiledComponent` CSR bundles for the bitset
-  engine (plus color arrays for the maximum search) and the greedy-coloring
-  dicts for the legacy maximum search.
+  :class:`~repro.core.kernel.CompiledComponent` CSR bundles for the compiled
+  engines (plus color arrays for the maximum search) and the greedy-coloring
+  dicts for the legacy maximum search.  When handed the
+  :func:`compile_stage` artifact, these *derive* the component views from
+  the whole-graph arrays (member-filtered rows, no recompilation); the
+  from-scratch :func:`~repro.core.kernel.compile_component` path remains as
+  the fallback and the parity oracle.
 * :func:`enumeration_search_stage` / :func:`maximum_search_stage` — the
   actual search, sequential or process-parallel, consuming the compile
   artifacts.
@@ -46,20 +54,23 @@ from repro.core.enumeration import (
 from repro.core.kernel import (
     CompiledComponent,
     compile_component,
+    derive_component_view,
     enum_root_prep,
+    enumerate_pivot_range,
     enumerate_root_range,
     maximum_compiled,
+    pivot_root_plan,
 )
 from repro.core.ktau_core import dp_core_plus
 from repro.core.maximum import MaximumSearchStats, _search_component_legacy
-from repro.core.prune_kernel import CompiledPruneGraph, compile_prune_graph
+from repro.core.prune_kernel import CompiledGraph, compile_graph
 from repro.deterministic.coloring import greedy_coloring
 from repro.deterministic.components import component_subgraphs
 from repro.uncertain.graph import Node, UncertainGraph
 
 __all__ = [
     "CutArtifact",
-    "compile_prune_stage",
+    "compile_stage",
     "prune_stage",
     "cut_stage",
     "compile_enumeration_stage",
@@ -71,19 +82,22 @@ __all__ = [
 
 
 # ----------------------------------------------------------------------
-# Stage 1: prune
+# Stage 0: compile (shared by prune and search)
 # ----------------------------------------------------------------------
 
-def compile_prune_stage(graph: UncertainGraph) -> CompiledPruneGraph:
-    """Lower the graph into the flat CSR form the compiled peels consume.
+def compile_stage(graph: UncertainGraph) -> CompiledGraph:
+    """Lower the graph into the unified flat-CSR artifact **once**.
 
     Parameter-free (no ``k``, no ``tau``): one compile per graph version
-    serves every prune of every query, which is why the session layer
-    memoizes this artifact under ``(version, "prune_compile")`` and hands
-    it to each :func:`prune_stage` call — including the monotone-seeded
-    peels, which replay over the same arrays via ``members=``.
+    serves every prune of every query *and* every search-view derivation,
+    which is why the session layer memoizes this artifact under
+    ``(version, "compile")`` and hands it to each :func:`prune_stage`
+    call — including the monotone-seeded peels, which replay over the
+    same arrays via ``members=`` — and to the search compile stages,
+    which derive their per-component :class:`CompiledComponent` views
+    from the whole-graph rows instead of recompiling the subgraphs.
     """
-    return compile_prune_graph(graph)
+    return compile_graph(graph)
 
 
 def prune_stage(
@@ -92,7 +106,7 @@ def prune_stage(
     tau: float,
     rule: str,
     engine: str,
-    compiled: CompiledPruneGraph | None = None,
+    compiled: CompiledGraph | None = None,
     members: Sequence[Node] | None = None,
     core: dict[Node, int] | None = None,
 ) -> tuple[Node, ...]:
@@ -107,7 +121,7 @@ def prune_stage(
     layout, so a cached artifact reproduces a cold run's downstream
     component order exactly.
 
-    ``compiled`` supplies the :func:`compile_prune_stage` artifact for
+    ``compiled`` supplies the :func:`compile_stage` artifact for
     the compiled (``"bitset"``) engine and ``members`` restricts its peel
     to a node subset (the session's monotone seed) without building an
     induced subgraph; ``core`` supplies memoized deterministic core
@@ -211,23 +225,41 @@ def cut_stage(
 # Stage 3: compile
 # ----------------------------------------------------------------------
 
+def _component_view(
+    component: UncertainGraph,
+    artifact: CompiledGraph | None,
+) -> CompiledComponent:
+    """The search view of one component: derived from the whole-graph
+    artifact when available (member-filtered rows, no recompilation —
+    sound because pruning removes nodes only and every cut edge crosses
+    component boundaries), else compiled from the subgraph."""
+    if artifact is not None:
+        return derive_component_view(artifact, list(component.nodes()))
+    return compile_component(component)
+
+
 def compile_enumeration_stage(
     components: Sequence[UncertainGraph],
     min_size: int,
     component_limit: int,
+    artifact: CompiledGraph | None = None,
 ) -> tuple[CompiledComponent | None, ...]:
-    """Compile each component the bitset enumeration will search.
+    """Compile each component the kernel enumeration will search.
 
     One slot per component, in order: a picklable
     :class:`~repro.core.kernel.CompiledComponent` when the component is
     searchable by the compiled kernel (``min_size <= n <= limit``), else
     ``None`` — the search stage re-derives *why* a slot is ``None`` from
     the component size (too small: skipped; too large: legacy fallback).
+
+    ``artifact`` is the :func:`compile_stage` whole-graph lowering; when
+    supplied, the views are derived from its rows (bit-identical to the
+    from-scratch compile, see ``tests/core/test_compiled_graph``).
     """
     compiled: list[CompiledComponent | None] = []
     for component in components:
         if min_size <= component.num_nodes <= component_limit:
-            compiled.append(compile_component(component))
+            compiled.append(_component_view(component, artifact))
         else:
             compiled.append(None)
     return tuple(compiled)
@@ -236,6 +268,7 @@ def compile_enumeration_stage(
 def compile_maximum_stage(
     components: Sequence[UncertainGraph],
     k: int,
+    artifact: CompiledGraph | None = None,
 ) -> tuple[tuple[CompiledComponent, list[int]] | None, ...]:
     """Eagerly compile each component the bitset maximum search could visit.
 
@@ -255,7 +288,7 @@ def compile_maximum_stage(
         if component.num_nodes <= k:
             compiled.append(None)
             continue
-        comp = compile_component(component)
+        comp = _component_view(component, artifact)
         coloring = greedy_coloring(component)
         compiled.append((comp, [coloring[u] for u in comp.nodes]))
     return tuple(compiled)
@@ -292,19 +325,21 @@ def enumeration_search_stage(
 ) -> Iterator[frozenset[Node]]:
     """Run the per-component enumeration over the compile artifacts.
 
-    Yields exactly the sequence the historical monolithic driver produced:
-    components in order, oversized components through the legacy
-    recursion, compiled ones through the kernel, ``n_jobs > 1`` through
-    the deterministic-merge parallel layer.  All counters accrue to
-    ``stats`` on every run (they are never part of a cached artifact).
+    Yields exactly the sequence the historical monolithic driver produced
+    for ``"bitset"``/``"legacy"`` (components in order, oversized
+    components through the legacy recursion, compiled ones through the
+    kernel, ``n_jobs > 1`` through the deterministic-merge parallel
+    layer); ``"pivot"`` emits the identical *set* per component in pivot
+    branch order.  All counters accrue to ``stats`` on every run (they
+    are never part of a cached artifact).
     """
-    if engine == "bitset" and n_jobs > 1:
+    if engine in ("bitset", "pivot") and n_jobs > 1:
         from repro.core.parallel import enumerate_parallel
 
         yield from enumerate_parallel(
             components, k, tau_floor, min_size, insearch,
             insearch_min_candidates, component_limit, n_jobs, stats,
-            compiled=compiled,
+            compiled=compiled, engine=engine,
         )
         return
 
@@ -312,7 +347,7 @@ def enumeration_search_stage(
         if component.num_nodes < min_size:
             continue
         comp = compiled[ordinal] if compiled is not None else None
-        if engine == "bitset" and comp is not None:
+        if engine in ("bitset", "pivot") and comp is not None:
             # The compiled fast path: enumerate_component minus its
             # compile step (the artifact already paid it), same prep /
             # range composition, same counters, same timings shape.
@@ -323,10 +358,21 @@ def enumeration_search_stage(
             )
             out: list[frozenset[Node]] = []
             if cands is not None:
-                out = enumerate_root_range(
-                    comp, k, tau_floor, min_size, insearch,
-                    insearch_min_candidates, cands, 0, len(cands), stats,
-                )
+                if engine == "pivot":
+                    branches = pivot_root_plan(
+                        comp, k, tau_floor, min_size, cands, stats,
+                    )
+                    out = enumerate_pivot_range(
+                        comp, k, tau_floor, min_size, insearch,
+                        insearch_min_candidates, cands, branches,
+                        0, len(branches), stats,
+                    )
+                else:
+                    out = enumerate_root_range(
+                        comp, k, tau_floor, min_size, insearch,
+                        insearch_min_candidates, cands, 0, len(cands),
+                        stats,
+                    )
             stats.timings.add("search", perf_counter() - t_start)
             yield from out
         else:
@@ -344,6 +390,7 @@ def _compiled_maximum_entry(
     ordinal: int,
     component: UncertainGraph,
     stats: MaximumSearchStats,
+    artifact: CompiledGraph | None = None,
 ) -> tuple[CompiledComponent, list[int]]:
     """The (compiled component, color list) pair for one component,
     compiled on demand and memoized.
@@ -352,12 +399,13 @@ def _compiled_maximum_entry(
     exactly as the historical driver, which only compiled a component
     once the search actually reached it with ``n > best_size``.  An
     eager compile-everything stage would pay compilation and coloring
-    for every component a growing incumbent later skips.
+    for every component a growing incumbent later skips.  ``artifact``
+    routes the view derivation through the whole-graph compile.
     """
     entry = memo.get(ordinal) if memo is not None else None
     if entry is None:
         t_start = perf_counter()
-        comp = compile_component(component)
+        comp = _component_view(component, artifact)
         coloring = greedy_coloring(component)
         entry = (comp, [coloring[u] for u in comp.nodes])
         stats.timings.add("compile", perf_counter() - t_start)
@@ -380,6 +428,7 @@ def maximum_search_stage(
     engine: str,
     n_jobs: int,
     stats: MaximumSearchStats,
+    artifact: CompiledGraph | None = None,
 ) -> tuple[list[Node] | None, int]:
     """Run the MaxUC+ component loop, compiling on demand into the memos.
 
@@ -395,7 +444,13 @@ def maximum_search_stage(
     cold run's entries and the cold run never compiles a component the
     incumbent skips.  The search path is deterministic, so which
     ordinals get filled is too.  Pass ``None`` to disable memoization.
+
+    The branch-and-bound's DFS-first output depends on branch order, so
+    ``engine="pivot"`` runs the exact bitset search (identical outputs
+    and stats; the pivot counters stay zero).
     """
+    if engine == "pivot":
+        engine = "bitset"
     if engine == "bitset" and n_jobs > 1:
         from repro.core.parallel import maximum_parallel
 
@@ -403,7 +458,8 @@ def maximum_search_stage(
         # the full precompile is real work, not waste; route it through
         # the memo so a sequential warm run still benefits.
         precompiled: list[tuple[CompiledComponent, list[int]] | None] = [
-            _compiled_maximum_entry(compiled, ordinal, component, stats)
+            _compiled_maximum_entry(compiled, ordinal, component, stats,
+                                    artifact)
             if component.num_nodes > k
             else None
             for ordinal, component in enumerate(components)
@@ -421,7 +477,7 @@ def maximum_search_stage(
             continue
         if engine == "bitset":
             comp, color = _compiled_maximum_entry(
-                compiled, ordinal, component, stats
+                compiled, ordinal, component, stats, artifact
             )
             t_start = perf_counter()
             improved, best_size = maximum_compiled(

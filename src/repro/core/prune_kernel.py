@@ -1,15 +1,23 @@
-"""Array-compiled prune kernel: flat CSR peeling for the core rules.
+"""Array-compiled graph artifact: flat CSR lowering for prune *and* search.
 
 The search stage has run on a compiled bitset kernel since PR 2
-(:mod:`repro.core.kernel`), but the *pruning* stage — the paper's headline
-``O(m * delta)`` DPCore+ peel (Algorithm 2), the dominating
-(Top_k, tau)-core rule (Algorithm 3) and the cut optimization's fringe
-peels — still walked Python dicts and per-node list DPs, leaving prune as
-the cold-query bottleneck.  This module is the prune-side mirror of the
-search kernel: a stdlib-only, zero-dependency compiler that lowers an
+(:mod:`repro.core.kernel`), and since PR 5 the *pruning* stage — the
+paper's headline ``O(m * delta)`` DPCore+ peel (Algorithm 2), the
+dominating (Top_k, tau)-core rule (Algorithm 3) and the cut
+optimization's fringe peels — runs over a flat whole-graph CSR built
+here.  Originally the two sides compiled independently, so a cold query
+lowered every graph twice.  This module now owns the **unified**
+artifact: a stdlib-only, zero-dependency compiler that lowers an
 :class:`~repro.uncertain.graph.UncertainGraph` **once** into dense int
-ids plus flat CSR adjacency/probability layouts, and peel loops that run
-entirely over those flat structures:
+ids plus flat CSR adjacency/probability layouts that serve both sides —
+the peels read the insertion-order and ascending rows directly, and the
+search kernel *derives* its per-component
+:class:`~repro.core.kernel.CompiledComponent` views (bitmask rows,
+descending-prob CSR) from the precomputed ``sort_rank`` array and the
+lazily-memoized per-row :meth:`CompiledGraph.desc_row` sorts — only
+rows that survive pruning ever pay the descending sort
+(:func:`repro.core.kernel.derive_component_view`).  The peel loops run
+entirely over the flat structures:
 
 * :func:`survival_peel` — DPCore+: the forward survival DP of Eq. (5)
   written into a preallocated flat row buffer, the Eq. (6) deletion
@@ -62,8 +70,11 @@ from repro.uncertain.graph import Node, UncertainGraph
 from repro.utils.validation import threshold_floor, validate_k, validate_tau
 
 __all__ = [
+    "CompiledGraph",
     "CompiledPruneGraph",
     "PruneEngine",
+    "node_sort_key",
+    "compile_graph",
     "compile_prune_graph",
     "survival_peel",
     "distribution_peel",
@@ -76,20 +87,48 @@ __all__ = [
 PruneEngine = Literal["arrays", "legacy"]
 
 
-class CompiledPruneGraph:
-    """A whole graph lowered to flat CSR lists for the peeling kernels.
+def node_sort_key(node: Node) -> tuple[str, str]:
+    """Deterministic total order over arbitrary hashable nodes.
+
+    Single definition of the library's node order; the search drivers,
+    the search kernel and the whole-graph compiler below share it, and
+    compilation evaluates it exactly once per node.
+    """
+    return (type(node).__name__, str(node))
+
+
+class CompiledGraph:
+    """A whole graph lowered to flat CSR lists for peeling *and* search.
 
     Nodes are densely renumbered in graph iteration order; adjacency and
-    edge probabilities live in two parallel CSR layouts sharing one
+    edge probabilities live in parallel CSR layouts sharing one
     ``row_offsets`` list:
 
     * ``nbr_ids`` / ``nbr_probs`` — **incident order** (the graph's
       insertion order), which is what the fresh survival / distribution
       DPs must multiply in to match the legacy float sequences;
+    * :meth:`desc_row` — the same row sorted by **descending
+      probability**, ties by the neighbor's ``sort_rank``, computed
+      **lazily on first use** and memoized per row.  Filtering a row to
+      a component's member set yields that component's search CSR
+      (descending probability, ties by local id) verbatim — the key
+      that lets :func:`repro.core.kernel.derive_component_view` build a
+      search view per component without sorting anything.  Laziness is
+      load-bearing: pruning discards most rows before any search looks
+      at them, so an eager whole-graph descending sort would pay the
+      (dominant) tuple-sort cost for nodes no query ever visits;
     * ``asc_rows`` — one **ascending-sorted** probability list per row,
       the precomputed form of the ``sorted(incident.values())`` lists
       the (Top_k, tau)-core peel consumes (peels copy a row before
-      mutating it — the artifact itself is never written after compile).
+      mutating it — compiled state is only ever appended to by the
+      lazy memos, never rewritten).  Equal floats are interchangeable,
+      so the value sequence matches the legacy sort exactly.
+
+    ``sort_rank[i]`` is the position of node ``i`` in the library's
+    deterministic :func:`node_sort_key` order over the whole graph.
+    Restricted to any component's members, ascending rank equals the
+    component's own ascending sort — so component views renumber by one
+    rank sort instead of re-deriving string keys per node.
 
     The flat layouts are plain Python lists rather than ``array``
     typecode buffers: the peels index them millions of times, and a
@@ -104,8 +143,11 @@ class CompiledPruneGraph:
     (Top_k, tau)-only workloads never pay for them.
 
     The compile is pure data tied to one graph ``version``; the session
-    layer memoizes it under ``(version, "prune_compile")`` so repeated
-    queries (and cross-seeded peels) share a single lowering.
+    layer memoizes it under ``(version, "compile")`` so every prune and
+    every search of every query shares a single lowering.  The artifact
+    is **picklable** — only the node labels, the insertion-order CSR and
+    the version cross the pipe (``__getstate__``); every derived form is
+    rebuilt on unpickle.
     """
 
     __slots__ = (
@@ -115,30 +157,98 @@ class CompiledPruneGraph:
         "row_offsets",
         "nbr_ids",
         "nbr_probs",
+        "sort_rank",
         "asc_rows",
         "version",
+        "_desc_rows",
         "_core_ids",
     )
 
     def __init__(
         self,
         nodes: tuple[Node, ...],
-        index: dict[Node, int],
         row_offsets: list[int],
         nbr_ids: list[int],
         nbr_probs: list[float],
-        asc_rows: list[list[float]],
         version: int,
     ) -> None:
         self.nodes = nodes
-        self.index = index
-        self.n = len(nodes)
         self.row_offsets = row_offsets
         self.nbr_ids = nbr_ids
         self.nbr_probs = nbr_probs
-        self.asc_rows = asc_rows
         self.version = version
+        self._build_derived()
+
+    def _build_derived(self) -> None:
+        """Rebuild every derived form from the canonical flat state."""
+        nodes = self.nodes
+        n = len(nodes)
+        self.n = n
+        self.index = {u: i for i, u in enumerate(nodes)}
+        order = sorted(range(n), key=lambda i: node_sort_key(nodes[i]))
+        rank = [0] * n
+        for r, i in enumerate(order):
+            rank[i] = r
+        self.sort_rank = rank
+        rf = self.row_offsets
+        ps = self.nbr_probs
+        # Values only — cheap float sorts.  The id-carrying descending
+        # rows are per-row lazy (see desc_row); only survivors pay.
+        self.asc_rows = [
+            sorted(ps[rf[i]:rf[i + 1]]) for i in range(n)
+        ]
+        self._desc_rows: list[tuple[list[int], list[float]] | None] = (
+            [None] * n
+        )
         self._core_ids: "array[int] | None" = None
+
+    def desc_row(self, i: int) -> tuple[list[int], list[float]]:
+        """Row ``i`` as ``(neighbor ids, probabilities)`` sorted by
+        ``(-probability, sort_rank)`` — the search-CSR order — computed
+        on first use and memoized.
+
+        Negating a float flips only the sign bit, so ``-(-p)`` is ``p``
+        bit for bit, and the rank tie-break gives the exact
+        ``(-p, local_id)`` order of any member restriction.
+        """
+        row = self._desc_rows[i]
+        if row is None:
+            rf = self.row_offsets
+            ids = self.nbr_ids
+            ps = self.nbr_probs
+            rank = self.sort_rank
+            entries = sorted(
+                (-ps[j], rank[ids[j]], ids[j])
+                for j in range(rf[i], rf[i + 1])
+            )
+            row = ([e[2] for e in entries], [-e[0] for e in entries])
+            self._desc_rows[i] = row
+        return row
+
+    def __getstate__(
+        self,
+    ) -> tuple[tuple[Node, ...], list[int], list[int], list[float], int]:
+        # Labels + insertion-order CSR + version only; every derived
+        # form (index, sort_rank, desc/asc rows, core numbers) is
+        # rebuilt in __setstate__.
+        return (
+            self.nodes, self.row_offsets, self.nbr_ids, self.nbr_probs,
+            self.version,
+        )
+
+    def __setstate__(
+        self,
+        state: tuple[
+            tuple[Node, ...], list[int], list[int], list[float], int
+        ],
+    ) -> None:
+        nodes, row_offsets, nbr_ids, nbr_probs, version = state
+        self.nodes = nodes
+        self.row_offsets = row_offsets
+        self.nbr_ids = nbr_ids
+        self.nbr_probs = nbr_probs
+        self.version = version
+        self._build_derived()
 
     def degree(self, i: int) -> int:
         """Full degree of compiled node ``i``."""
@@ -195,32 +305,37 @@ class CompiledPruneGraph:
         return core
 
 
-def compile_prune_graph(graph: UncertainGraph) -> CompiledPruneGraph:
-    """Lower ``graph`` into a :class:`CompiledPruneGraph` (one pass).
+#: Backwards-compatible name from the PR 5 era, when the artifact served
+#: only the pruning stage.  Same class; the search kernel now derives
+#: its component views from it too.
+CompiledPruneGraph = CompiledGraph
 
-    Runs in ``O(m log d_max)`` (the per-row ascending sort dominates);
-    the result references nothing of the source graph, so later graph
-    mutations cannot corrupt it — the embedded ``version`` is what the
-    session layer keys the artifact by.
+
+def compile_graph(graph: UncertainGraph) -> CompiledGraph:
+    """Lower ``graph`` into the unified :class:`CompiledGraph` (one pass).
+
+    Runs in ``O(m log d_max)`` (the per-row sort dominates); the result
+    references nothing of the source graph, so later graph mutations
+    cannot corrupt it — the embedded ``version`` is what the session
+    layer keys the artifact by.
     """
     nodes = tuple(graph.nodes())
     index = {u: i for i, u in enumerate(nodes)}
     row_offsets = [0]
     nbr_ids: list[int] = []
     nbr_probs: list[float] = []
-    asc_rows: list[list[float]] = []
     id_of = index.__getitem__
     for u in nodes:
         inc = graph.incident(u)
         nbr_ids.extend(map(id_of, inc))
-        values = inc.values()
-        nbr_probs.extend(values)
-        asc_rows.append(sorted(values))
+        nbr_probs.extend(inc.values())
         row_offsets.append(len(nbr_ids))
-    return CompiledPruneGraph(
-        nodes, index, row_offsets, nbr_ids, nbr_probs, asc_rows,
-        graph.version,
-    )
+    return CompiledGraph(nodes, row_offsets, nbr_ids, nbr_probs,
+                         graph.version)
+
+
+#: Backwards-compatible alias for :func:`compile_graph`.
+compile_prune_graph = compile_graph
 
 
 def _initial_dead(

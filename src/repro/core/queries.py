@@ -35,7 +35,7 @@ def cliques_containing(
     node: Node,
     k: int,
     tau: float,
-    engine: Engine = "bitset",
+    engine: Engine = "pivot",
     jobs: int | None = 1,
 ) -> Iterator[frozenset[Node]]:
     """Yield every maximal (k, tau)-clique of ``graph`` containing ``node``.
@@ -62,7 +62,7 @@ def is_extendable(
     graph: UncertainGraph,
     nodes: Iterable[Node],
     tau: float,
-    engine: Engine = "bitset",
+    engine: Engine = "pivot",
     jobs: int | None = 1,
 ) -> bool:
     """Whether some single node can extend ``nodes`` to a larger
@@ -82,7 +82,7 @@ def containing_clique_exists(
     nodes: Iterable[Node],
     k: int,
     tau: float,
-    engine: Engine = "bitset",
+    engine: Engine = "pivot",
     jobs: int | None = 1,
 ) -> bool:
     """Whether some maximal (k, tau)-clique contains all of ``nodes``.

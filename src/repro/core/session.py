@@ -49,6 +49,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from time import perf_counter
 from typing import AbstractSet, Any, Iterable, Iterator
 
 from repro.core import enumeration as _enumeration_mod
@@ -196,17 +197,25 @@ class PreparedGraph:
     # Stage resolution
     # ------------------------------------------------------------------
 
-    def _prune_compiled(self, version: int) -> Any:
-        """The flat-CSR prune compile, cached per graph version.
+    def _compiled_artifact(self, version: int, timings: Any = None) -> Any:
+        """The unified whole-graph flat-CSR compile, cached per version.
 
         Parameter-free: one lowering serves every compiled-engine peel of
         every query at this version — including the monotone-seeded peels,
-        which replay over the same arrays via ``members=``.
+        which replay over the same arrays via ``members=`` — *and* every
+        search-view derivation (the per-component ``CompiledComponent``
+        bundles are member-filtered from these rows, never recompiled).
+        The compile wall clock is recorded as the ``"compile"`` lap only
+        when the lowering actually runs, so warm queries report a zero
+        compile phase.
         """
-        key = (version, "prune_compile")
+        key = (version, "compile")
         compiled = self._lookup(key)
         if compiled is _MISSING:
-            compiled = pipeline.compile_prune_stage(self._graph)
+            t_start = perf_counter()
+            compiled = pipeline.compile_stage(self._graph)
+            if timings is not None:
+                timings.add("compile", perf_counter() - t_start)
             self._store(key, compiled)
         return compiled
 
@@ -216,9 +225,9 @@ class PreparedGraph:
         The decomposition depends only on the graph version — the peels
         of ``tau_degree``/``ktau_core`` historically recomputed it per
         call — so it is memoized under ``(version, "core_numbers")``,
-        derived from the prune compile's lazy CSR decomposition whenever
-        one exists (sharing work with any compiled peel that already
-        ran).
+        derived from the unified compile's lazy CSR decomposition
+        whenever one exists (sharing work with any compiled peel that
+        already ran).
         """
         version = self._graph.version
         key = (version, "core_numbers")
@@ -230,7 +239,7 @@ class PreparedGraph:
         # session shouldn't pay a full lowering for a decomposition the
         # deterministic module computes directly.  A peek, not a lookup:
         # the accounted lookup above already counted this resolution.
-        compiled = self._cache.get((version, "prune_compile"), _MISSING)
+        compiled = self._cache.get((version, "compile"), _MISSING)
         if compiled is not _MISSING:
             core = dict(zip(compiled.nodes, compiled.core_ids()))
         else:
@@ -249,13 +258,16 @@ class PreparedGraph:
         k: int,
         tau: float,
         engine: Engine,
+        artifact: Any = None,
     ) -> tuple[Node, ...]:
         """The prune-stage artifact, cached and monotone-seeded.
 
         The key deliberately omits ``engine``: both peel implementations
         reach the same unique fixpoint set (pinned by the kernel-parity
         suite), and the artifact is order-normalized, so the entry is
-        shared across engines.
+        shared across engines.  ``artifact`` is the resolved unified
+        compile for the compiled engine (the caller resolves it so the
+        compile lap lands outside the prune lap).
         """
         if pruning == "none":
             return tuple(self._graph.nodes())
@@ -273,9 +285,11 @@ class PreparedGraph:
                 if seed is not None and len(seed) < self._graph.num_nodes
                 else None
             )
+            if artifact is None:
+                artifact = self._compiled_artifact(version)
             survivors = pipeline.prune_stage(
                 self._graph, k, tau, pruning, engine,
-                compiled=self._prune_compiled(version), members=members,
+                compiled=artifact, members=members,
             )
             self._store(key, survivors)
             return survivors
@@ -344,14 +358,21 @@ class PreparedGraph:
 
         The key is shared between enumeration and maximum queries with
         the same ``(pruning, cut, k, tau)`` — the cut stage is identical
-        for both.  Phase laps are recorded only when work actually runs.
+        for both.  Phase laps are recorded only when work actually runs;
+        resolving the unified compile *before* the prune lap keeps the
+        ``"compile"`` and ``"prune"`` phases disjoint.
         """
         key = (version, "cut", pruning, cut, k, tau)
         art = self._lookup(key)
         if art is not _MISSING:
             return art  # type: ignore[no-any-return]
+        artifact = None
+        if engine == "bitset" and pruning != "none":
+            artifact = self._compiled_artifact(version, timings)
         with timings.lap("prune"):
-            survivors = self._survivors(version, pruning, k, tau, engine)
+            survivors = self._survivors(
+                version, pruning, k, tau, engine, artifact
+            )
             pruned = self._graph.induced_subgraph(survivors)
         with timings.lap("cut"):
             art = pipeline.cut_stage(
@@ -400,7 +421,7 @@ class PreparedGraph:
         cut: bool = True,
         insearch: bool = True,
         stats: EnumerationStats | None = None,
-        engine: Engine = "bitset",
+        engine: Engine = "pivot",
         jobs: int | None = 1,
     ) -> Iterator[frozenset[Node]]:
         """Enumerate all maximal (k, tau)-cliques (session-cached).
@@ -415,7 +436,7 @@ class PreparedGraph:
         tau = validate_tau(tau)
         if pruning not in ("topk", "ktau", "none"):
             raise ValueError(f"unknown pruning rule {pruning!r}")
-        if engine not in ("bitset", "legacy"):
+        if engine not in ("pivot", "bitset", "legacy"):
             raise ValueError(f"unknown engine {engine!r}")
         stats = stats if stats is not None else EnumerationStats()
         min_size = k + 1
@@ -425,8 +446,11 @@ class PreparedGraph:
         insearch_min_candidates = _enumeration_mod._INSEARCH_MIN_CANDIDATES
         component_limit = _enumeration_mod.KERNEL_COMPONENT_LIMIT
 
+        # The prune/cut stages know two implementations; both compiled
+        # search engines share the "bitset" (arrays) peels and artifacts.
+        stage_engine = "legacy" if engine == "legacy" else "bitset"
         art = self._cut_artifact(
-            version, pruning, cut, k, tau, engine, stats.timings
+            version, pruning, cut, k, tau, stage_engine, stats.timings
         )
         stats.nodes_after_pruning = art.nodes_after_pruning
         stats.cuts_found = art.cuts_found
@@ -440,16 +464,21 @@ class PreparedGraph:
 
         compiled: tuple[Any, ...] | None = None
         n_jobs = 1
-        if engine == "bitset":
+        if engine != "legacy":
             n_jobs = resolve_jobs(jobs)
+            # The search views are *derived* from the whole-graph compile
+            # (member-filtered rows, no recompilation), so the expensive
+            # lowering stays one-per-version while the cheap view bundles
+            # are keyed by the query parameters that shaped the components.
             ckey = (
-                version, "compile", pruning, cut, k, tau, component_limit,
+                version, "views", pruning, cut, k, tau, component_limit,
             )
             compiled = self._lookup(ckey)
             if compiled is _MISSING:
+                artifact = self._compiled_artifact(version, stats.timings)
                 with stats.timings.lap("compile"):
                     compiled = pipeline.compile_enumeration_stage(
-                        art.components, min_size, component_limit
+                        art.components, min_size, component_limit, artifact
                     )
                 self._store(ckey, compiled)
 
@@ -471,7 +500,7 @@ class PreparedGraph:
         use_advanced_one: bool = True,
         use_advanced_two: bool = True,
         insearch: bool = True,
-        engine: Engine = "bitset",
+        engine: Engine = "pivot",
         jobs: int | None = 1,
     ) -> frozenset[Node] | None:
         """Maximum (k, tau)-clique via MaxUC+ (session-cached).
@@ -493,22 +522,25 @@ class PreparedGraph:
         """
         validate_k(k)
         tau = validate_tau(tau)
-        if engine not in ("bitset", "legacy"):
+        if engine not in ("pivot", "bitset", "legacy"):
             raise ValueError(f"unknown engine {engine!r}")
         stats = stats if stats is not None else MaximumSearchStats()
         min_size = k + 1
         tau_floor = threshold_floor(tau)
         version = self._graph.version
 
+        stage_engine = "legacy" if engine == "legacy" else "bitset"
         art = self._cut_artifact(
-            version, "topk", True, k, tau, engine, stats.timings
+            version, "topk", True, k, tau, stage_engine, stats.timings
         )
 
         compiled: dict[int, Any] | None = None
         colors: dict[int, Any] | None = None
+        artifact: Any = None
         n_jobs = 1
-        if engine == "bitset":
+        if engine != "legacy":
             n_jobs = resolve_jobs(jobs)
+            artifact = self._compiled_artifact(version, stats.timings)
             ckey = (version, "compile_max", k, tau)
             compiled = self._lookup(ckey)
             if compiled is _MISSING:
@@ -524,7 +556,7 @@ class PreparedGraph:
         best, best_size = pipeline.maximum_search_stage(
             art.components, compiled, colors, k, tau, tau_floor, min_size,
             use_advanced_one, use_advanced_two, insearch, engine, n_jobs,
-            stats,
+            stats, artifact=artifact,
         )
         stats.best_size = best_size if best is not None else 0
         if best is None or len(best) < min_size:
@@ -569,7 +601,7 @@ class PreparedGraph:
         node: Node,
         k: int,
         tau: float,
-        engine: Engine = "bitset",
+        engine: Engine = "pivot",
         jobs: int | None = 1,
     ) -> Iterator[frozenset[Node]]:
         """Yield every maximal (k, tau)-clique containing ``node``.
@@ -607,7 +639,7 @@ class PreparedGraph:
         self,
         nodes: Iterable[Node],
         tau: float,
-        engine: Engine = "bitset",
+        engine: Engine = "pivot",
         jobs: int | None = 1,
     ) -> bool:
         """Whether some single node can extend ``nodes`` to a larger
@@ -618,7 +650,7 @@ class PreparedGraph:
         search phase to configure.
         """
         tau = validate_tau(tau)
-        if engine not in ("bitset", "legacy"):
+        if engine not in ("pivot", "bitset", "legacy"):
             raise ValueError(f"unknown engine {engine!r}")
         resolve_jobs(jobs)
         members = list(dict.fromkeys(nodes))
@@ -648,7 +680,7 @@ class PreparedGraph:
         nodes: Iterable[Node],
         k: int,
         tau: float,
-        engine: Engine = "bitset",
+        engine: Engine = "pivot",
         jobs: int | None = 1,
     ) -> bool:
         """Whether some maximal (k, tau)-clique contains all of ``nodes``.

@@ -151,9 +151,15 @@ def test_oversized_component_routes_to_legacy_fallback() -> None:
     for u, v in itertools.combinations(range(6), 2):
         graph.add_edge(u, v, 0.9)
 
+    # The bit-identity contract is between the order-identical engines;
+    # the pivot engine reorders emission, so its fallback parity is on
+    # the clique *set* (checked below).
     baseline_stats = EnumerationStats()
-    baseline = list(maximal_cliques(graph, 2, 0.3, stats=baseline_stats))
+    baseline = list(
+        maximal_cliques(graph, 2, 0.3, stats=baseline_stats, engine="bitset")
+    )
     assert baseline  # a K6 at tau=0.3 must produce output
+    pivot_baseline = set(maximal_cliques(graph, 2, 0.3, engine="pivot"))
 
     def tripwire(*args: object, **kwargs: object) -> object:
         raise AssertionError(
@@ -166,15 +172,106 @@ def test_oversized_component_routes_to_legacy_fallback() -> None:
     enumeration_mod.enumerate_component = tripwire  # type: ignore[assignment]
     try:
         fallback_stats = EnumerationStats()
-        fallback = list(maximal_cliques(graph, 2, 0.3, stats=fallback_stats))
+        fallback = list(
+            maximal_cliques(
+                graph, 2, 0.3, stats=fallback_stats, engine="bitset"
+            )
+        )
+        pivot_fallback = set(maximal_cliques(graph, 2, 0.3, engine="pivot"))
     finally:
         enumeration_mod.KERNEL_COMPONENT_LIMIT = original_limit
         enumeration_mod.enumerate_component = original_entry
     assert fallback == baseline
     assert asdict(fallback_stats) == asdict(baseline_stats)
+    assert pivot_fallback == pivot_baseline == set(baseline)
 
 
-@pytest.mark.parametrize("engine", ["legacy", "bitset"])
+@settings(max_examples=60, deadline=None)
+@given(
+    graph=uncertain_graphs(),
+    k=st.integers(min_value=0, max_value=4),
+    tau=st.sampled_from(TAUS),
+    insearch=st.booleans(),
+    cut=st.booleans(),
+)
+def test_pivot_engine_set_identical(
+    graph: UncertainGraph, k: int, tau: float, insearch: bool, cut: bool
+) -> None:
+    # Pivoting reorders emission, so the contract is set identity: the
+    # same cliques (each emitted exactly once) with the same clique
+    # count, plus identical pre-search counters — only the recursion
+    # shape (search_calls, prunes) may differ, and the pivot tree is
+    # never larger in branches than the candidate fan-out it replaced.
+    oracle_stats = EnumerationStats()
+    oracle = list(
+        maximal_cliques(
+            graph, k, tau, cut=cut, insearch=insearch,
+            stats=oracle_stats, engine="bitset",
+        )
+    )
+    pivot_stats = EnumerationStats()
+    pivot = list(
+        maximal_cliques(
+            graph, k, tau, cut=cut, insearch=insearch,
+            stats=pivot_stats, engine="pivot",
+        )
+    )
+    assert len(pivot) == len(set(pivot))  # no duplicate emissions
+    assert set(pivot) == set(oracle)
+    assert pivot_stats.cliques == oracle_stats.cliques == len(oracle)
+    for field in (
+        "nodes_after_pruning", "components", "cuts_found",
+        "cut_edges_removed",
+    ):
+        assert getattr(pivot_stats, field) == getattr(oracle_stats, field)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    graph=uncertain_graphs(),
+    k=st.integers(min_value=0, max_value=4),
+    tau=st.sampled_from(TAUS),
+)
+def test_pivot_set_identical_with_forced_insearch_gate(
+    graph: UncertainGraph, k: int, tau: float
+) -> None:
+    # Gate at zero: the in-search peel runs at every pivot recursion
+    # node, so the leaf-first ordering (leaves must emit before the
+    # gate can peel an empty candidate set) is exercised everywhere.
+    original = enumeration_mod._INSEARCH_MIN_CANDIDATES
+    enumeration_mod._INSEARCH_MIN_CANDIDATES = 0
+    try:
+        oracle = set(maximal_cliques(graph, k, tau, engine="bitset"))
+        pivot = list(maximal_cliques(graph, k, tau, engine="pivot"))
+    finally:
+        enumeration_mod._INSEARCH_MIN_CANDIDATES = original
+    assert len(pivot) == len(set(pivot))
+    assert set(pivot) == oracle
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    graph=uncertain_graphs(),
+    k=st.integers(min_value=0, max_value=4),
+    tau=st.sampled_from(TAUS),
+)
+def test_maximum_pivot_is_exactly_bitset(
+    graph: UncertainGraph, k: int, tau: float
+) -> None:
+    # The branch-and-bound's DFS-first output depends on branch order,
+    # so engine="pivot" runs the exact bitset search: identical result,
+    # identical counters, pivot counters pinned to zero.
+    bitset_stats = MaximumSearchStats()
+    bitset = max_uc_plus(graph, k, tau, stats=bitset_stats, engine="bitset")
+    pivot_stats = MaximumSearchStats()
+    pivot = max_uc_plus(graph, k, tau, stats=pivot_stats, engine="pivot")
+    assert pivot == bitset
+    assert asdict(pivot_stats) == asdict(bitset_stats)
+    assert pivot_stats.pivot_branches == 0
+    assert pivot_stats.pivot_skipped == 0
+
+
+@pytest.mark.parametrize("engine", ["legacy", "bitset", "pivot"])
 def test_duplicate_probability_peel_is_engine_independent(
     engine: str,
 ) -> None:

@@ -123,22 +123,42 @@ def test_oversized_components_fall_back_and_interleave_in_order() -> None:
     # must route that component through the in-driver legacy recursion
     # while the other still runs on the pool — and the merged output must
     # keep the sequential component order.
+    # The squeezed run mixes legacy-fallback and compiled components, so
+    # the bit-identity comparison runs on the order-identical bitset
+    # engine; the pivot engine's mixed run is compared under the *same*
+    # squeezed limit (its compiled components emit in pivot order, which
+    # the unsqueezed baseline would not reproduce).
     graph = _two_triangles()
     original = enumeration_mod.KERNEL_COMPONENT_LIMIT
     try:
         sequential_stats = EnumerationStats()
         sequential = list(
-            maximal_cliques(graph, 2, 0.3, stats=sequential_stats)
+            maximal_cliques(
+                graph, 2, 0.3, stats=sequential_stats, engine="bitset"
+            )
         )
         enumeration_mod.KERNEL_COMPONENT_LIMIT = 3
         mixed_stats = EnumerationStats()
         mixed = list(
-            maximal_cliques(graph, 2, 0.3, stats=mixed_stats, jobs=2)
+            maximal_cliques(
+                graph, 2, 0.3, stats=mixed_stats, engine="bitset", jobs=2
+            )
+        )
+        pivot_seq_stats = EnumerationStats()
+        pivot_sequential = list(
+            maximal_cliques(graph, 2, 0.3, stats=pivot_seq_stats)
+        )
+        pivot_mixed_stats = EnumerationStats()
+        pivot_mixed = list(
+            maximal_cliques(graph, 2, 0.3, stats=pivot_mixed_stats, jobs=2)
         )
     finally:
         enumeration_mod.KERNEL_COMPONENT_LIMIT = original
     assert mixed == sequential
     assert asdict(mixed_stats) == asdict(sequential_stats)
+    assert pivot_mixed == pivot_sequential
+    assert asdict(pivot_mixed_stats) == asdict(pivot_seq_stats)
+    assert set(pivot_mixed) == set(sequential)
 
 
 def test_range_partition_concatenates_to_sequential_output() -> None:

@@ -20,12 +20,14 @@ def test_enumeration_merge_sums_every_counter() -> None:
     a = EnumerationStats(
         nodes_after_pruning=10, components=2, cuts_found=1,
         cut_edges_removed=3, search_calls=100, insearch_prunes=5,
-        branch_size_prunes=7, cliques=4,
+        branch_size_prunes=7, pivot_branches=20, pivot_skipped=9,
+        cliques=4,
     )
     b = EnumerationStats(
         nodes_after_pruning=1, components=1, cuts_found=0,
         cut_edges_removed=2, search_calls=50, insearch_prunes=1,
-        branch_size_prunes=2, cliques=3,
+        branch_size_prunes=2, pivot_branches=6, pivot_skipped=4,
+        cliques=3,
     )
     expected = {
         f.name: getattr(a, f.name) + getattr(b, f.name)
@@ -38,15 +40,38 @@ def test_enumeration_merge_sums_every_counter() -> None:
 
 
 def test_maximum_merge_sums_counters_and_maxes_best_size() -> None:
-    a = MaximumSearchStats(search_calls=10, size_bound_prunes=2, best_size=5)
-    b = MaximumSearchStats(search_calls=3, basic_color_prunes=4, best_size=7)
+    a = MaximumSearchStats(
+        search_calls=10, size_bound_prunes=2, pivot_branches=5,
+        pivot_skipped=2, best_size=5,
+    )
+    b = MaximumSearchStats(
+        search_calls=3, basic_color_prunes=4, pivot_branches=1,
+        pivot_skipped=3, best_size=7,
+    )
     a.merge(b)
     assert a.search_calls == 13
     assert a.size_bound_prunes == 2
     assert a.basic_color_prunes == 4
+    assert a.pivot_branches == 6
+    assert a.pivot_skipped == 5
     assert a.best_size == 7  # max, not sum: it reports a result, not work
     a.merge(MaximumSearchStats(best_size=1))
     assert a.best_size == 7
+
+
+def test_pivot_counters_recorded_by_the_default_engine() -> None:
+    # The pivot engine is the default: a dense component must record at
+    # least one absorbed (skipped) candidate, and every root is either
+    # branched or skipped.  The non-pivot engines leave both at zero.
+    graph = _triangle_graph()
+    stats = EnumerationStats()
+    list(muce_plus_plus(graph, 1, 0.5, stats=stats))
+    assert stats.pivot_branches > 0
+    assert stats.pivot_skipped > 0
+    oracle = EnumerationStats()
+    list(muce_plus_plus(graph, 1, 0.5, stats=oracle, engine="bitset"))
+    assert oracle.pivot_branches == 0
+    assert oracle.pivot_skipped == 0
 
 
 def test_merge_accumulates_timings_lap_wise() -> None:
