@@ -1,14 +1,26 @@
-"""Monitor reliable groups in an evolving uncertain network.
+"""Monitor reliable groups in a continuously-updating uncertain network.
 
 Run with::
 
     python examples/dynamic_network_monitoring.py
 
-Shows the library's extension layer on a streaming scenario: interactions
-arrive over time, a :class:`KTauCoreMaintainer` keeps the (k, tau)-core
-current incrementally, anchored queries answer "which reliable groups does
-this user belong to right now?", and the verification module double-checks
-a final enumeration against the definitions.
+A monitoring loop over a communication network where interactions never
+stop arriving: ties strengthen on repeat contact, new edges appear, and
+stale ones get dropped.  One :class:`PreparedGraph` session owns the
+live graph and a session-mode :class:`KTauCoreMaintainer` absorbs every
+update — each mutation bumps only the touched component's epoch, the
+session's compiled artifact is delta-patched forward through the
+mutation log instead of re-lowered, and the maintainer re-peels just
+the dirty frontier before republishing the (k, tau)-core into the
+session cache.  Between update bursts the monitoring queries
+(enumeration, anchored membership) run over that same warm session, so
+each window pays only for what actually changed.
+
+The loop prints per-window invalidation accounting straight from the
+session — delta patches vs full compiles, live vs stale cached
+artifacts — and the final window cross-checks the incrementally
+maintained core against a cold from-scratch recompute plus a sampled
+verification of the enumerated cliques.
 """
 
 from __future__ import annotations
@@ -17,9 +29,9 @@ import random
 
 from repro import (
     KTauCoreMaintainer,
+    PreparedGraph,
     cliques_containing,
-    muce_plus_plus,
-    top_r_maximal_cliques,
+    dp_core_plus,
     verify_maximal_cliques,
 )
 from repro.datasets import communication_network
@@ -32,54 +44,75 @@ def main() -> None:
     )
     print(
         f"initial network: {graph.num_nodes} users, "
-        f"{graph.num_edges} edges"
+        f"{graph.num_edges} edges, {graph.num_components} components"
     )
 
-    maintainer = KTauCoreMaintainer(graph, k, tau)
-    print(f"initial (k, tau)-core: {len(maintainer.core)} users")
+    # One session owns the live graph; the maintainer mutates it in
+    # place and republishes the maintained core at every new version.
+    session = PreparedGraph(graph)
+    maintainer = KTauCoreMaintainer(session, k, tau)
+    live = session.graph
+    print(f"initial ({k}, {tau})-core: {len(maintainer.core)} users")
+    baseline_groups = sum(1 for _ in session.maximal_cliques(k, tau))
+    print(f"initial reliable groups: {baseline_groups}")
 
-    # --- stream of new interactions ------------------------------------
+    # --- continuous update stream, queried between bursts --------------
     rng = random.Random(11)
-    work = maintainer.graph
-    inserted = 0
-    for _ in range(300):
-        u, v = rng.sample(range(600), 2)
-        if work.has_edge(u, v):
-            # Repeated interaction: strengthen the tie.
-            p = work.probability(u, v)
-            boosted = min(1.0, p + (1 - p) * 0.5)
-            maintainer.set_probability(u, v, boosted)
-            work.set_probability(u, v, boosted)
-        else:
-            maintainer.add_edge(u, v, 0.39)
-            work.add_edge(u, v, 0.39)
-            inserted += 1
-    print(
-        f"after 300 streamed interactions ({inserted} new edges): "
-        f"core has {len(maintainer.core)} users"
-    )
+    inserted = dropped = 0
+    for window in range(1, 6):
+        for _ in range(60):
+            u, v = rng.sample(range(600), 2)
+            if live.has_edge(u, v):
+                # Repeated interaction: strengthen the tie.
+                p = live.probability(u, v)
+                maintainer.set_probability(u, v, min(1.0, p + (1 - p) * 0.5))
+            else:
+                maintainer.add_edge(u, v, 0.39)
+                inserted += 1
+        # And one stale tie ages out per window.
+        edges = list(live.edges())
+        u, v, _ = edges[rng.randrange(len(edges))]
+        maintainer.remove_edge(u, v)
+        dropped += 1
 
-    # --- anchored queries on the current graph -------------------------
-    current = maintainer.graph
-    biggest = top_r_maximal_cliques(current, 3, k, tau)
-    print("\ntop-3 largest reliable groups right now:")
-    for clique in biggest:
-        print(f"  {len(clique)} users: {sorted(clique)[:8]}...")
-
-    if biggest:
-        anchor = next(iter(biggest[0]))
-        memberships = list(cliques_containing(current, anchor, k, tau))
+        groups = sum(1 for _ in session.maximal_cliques(k, tau))
+        info = session.cache_info()
+        retention = session.retention_info()
+        evicted = session.purge_stale()
         print(
-            f"\nuser {anchor} belongs to {len(memberships)} maximal "
-            f"({k}, {tau})-clique(s)"
+            f"window {window}: core={len(maintainer.core)} "
+            f"groups={groups} "
+            f"compiles: {info['delta_patches']} delta-patched / "
+            f"{info['full_compiles']} full; "
+            f"cached artifacts: {retention['component_live']} live, "
+            f"{evicted} stale purged"
         )
 
-    # --- verify a full enumeration -------------------------------------
-    cliques = list(muce_plus_plus(current, k, tau))
-    report = verify_maximal_cliques(
-        current, cliques, k, tau, sample_probability=True, samples=2000
+    print(
+        f"\nstreamed {5 * 60} interactions "
+        f"({inserted} new edges, {dropped} dropped)"
     )
-    print(f"\nverification: {report.summary()}")
+
+    # --- anchored query on the warm session ----------------------------
+    biggest = max(session.maximal_cliques(k, tau), key=len, default=None)
+    if biggest is not None:
+        anchor = sorted(biggest)[0]
+        memberships = list(cliques_containing(live, anchor, k, tau))
+        print(
+            f"user {anchor} belongs to {len(memberships)} maximal "
+            f"({k}, {tau})-clique(s) right now"
+        )
+
+    # --- verify the incremental state against a cold recompute ---------
+    cold_core = dp_core_plus(live.copy(), k, tau)
+    assert maintainer.core == frozenset(cold_core)
+    print(f"incremental core matches cold recompute ({len(cold_core)} users)")
+
+    cliques = list(session.maximal_cliques(k, tau))
+    report = verify_maximal_cliques(
+        live, cliques, k, tau, sample_probability=True, samples=2000
+    )
+    print(f"verification: {report.summary()}")
     assert report.ok
 
 

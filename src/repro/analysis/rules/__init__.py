@@ -26,7 +26,10 @@ from repro.analysis.rules.probability import (
 )
 from repro.analysis.rules.purity import ImpureStage
 from repro.analysis.rules.randomness import UnseededRandom
-from repro.analysis.rules.versioning import UnversionedCacheKey
+from repro.analysis.rules.versioning import (
+    ComponentEpochDiscipline,
+    UnversionedCacheKey,
+)
 
 __all__ = [
     "ALL_RULES",
@@ -34,6 +37,7 @@ __all__ = [
     "ProjectRule",
     "Rule",
     "get_rules",
+    "ComponentEpochDiscipline",
     "FrozenGraphMutation",
     "ImpureStage",
     "LogLinearMixing",
@@ -63,6 +67,7 @@ ALL_RULES: tuple[Rule, ...] = (
     ImpureStage(),
     UnversionedCacheKey(),
     UnpicklableSubmission(),
+    ComponentEpochDiscipline(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}

@@ -1,21 +1,30 @@
-"""Version-key rule: RPL012 — session caches must key on the graph version.
+"""Versioning rules: RPL012 and RPL014 — invalidation discipline.
 
 The session layer (PR 4) invalidates memoized stage artifacts by
-*versioning*, not by clearing: every mutation bumps
-``UncertainGraph.version``, and every cache key embeds that version, so
-stale artifacts simply stop being reachable.  The contract dies quietly
-the moment one insertion path builds a key without the version — the
-entry survives mutation and a later query replays an artifact computed
-against a graph that no longer exists.
+*versioning*, not by clearing, under a two-level scheme: every mutation
+bumps ``UncertainGraph.version`` and the touched component's *epoch*,
+and every cache key embeds one or the other, so stale artifacts simply
+stop being reachable.  The contract dies quietly at two kinds of site:
 
-The rule inspects every cache/memo insertion (subscript store or
-``.setdefault`` on a receiver whose name mentions ``cache`` or
-``memo``) in the session module and in every module the session layer
-imports.  A key passes when its expression — or the local assignment
-that produced it — mentions a ``version`` attribute or name.  A key
-that is a bare function parameter is skipped: the key was built by the
-caller, and the insertion site has no say in its shape (the caller's
-construction site is where this rule looks instead).
+* **RPL012** — a cache/memo insertion whose key carries neither the
+  version nor a component epoch: the entry survives mutation and a
+  later query replays an artifact computed against a graph that no
+  longer exists.
+* **RPL014** — the invalidation side of the same contract: a graph
+  mutator that writes adjacency state without touching the component
+  map/epoch bookkeeping (so component-scoped entries stay *reachable*
+  though stale), or a component-scoped cache key that carries the
+  component id without its epoch (same effect from the key side).
+
+RPL012 inspects every cache/memo insertion (subscript store,
+``.setdefault``, or a ``self._store(key, value)`` call — the session's
+accounted insertion helper) in the session module and in every module
+the session layer imports.  A key passes when its expression — or the
+local assignment that produced it — mentions a ``version`` or ``epoch``
+attribute or name.  A key that is a bare function parameter is skipped:
+the key was built by the caller, and the insertion site has no say in
+its shape (the caller's construction site is where this rule looks
+instead).
 """
 
 from __future__ import annotations
@@ -30,10 +39,15 @@ from repro.analysis.rules.base import ProjectRule, is_test_path
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.analysis.engine import FileContext
 
-__all__ = ["UnversionedCacheKey"]
+__all__ = ["ComponentEpochDiscipline", "UnversionedCacheKey"]
 
 #: Receiver-name fragments that mark a binding as a memoization table.
 _CACHE_NAME_FRAGMENTS = ("cache", "memo")
+
+#: Mutating-method names that count as writes when called on an
+#: adjacency mapping.
+_MUTATING_CALLS = frozenset({"setdefault", "pop", "popitem", "clear",
+                             "update"})
 
 
 def _is_cache_receiver(node: ast.expr) -> bool:
@@ -50,11 +64,31 @@ def _is_cache_receiver(node: ast.expr) -> bool:
 
 
 def _mentions_version(node: ast.AST) -> bool:
-    """Whether ``node`` contains a ``version`` attribute or name."""
+    """Whether ``node`` carries an invalidation marker: a ``version``
+    or ``epoch`` attribute or name (component epochs are the version
+    vector's per-component counters — either scope invalidates)."""
     for current in ast.walk(node):
-        if isinstance(current, ast.Attribute) and "version" in current.attr:
+        if isinstance(current, ast.Attribute) and (
+            "version" in current.attr or "epoch" in current.attr
+        ):
             return True
-        if isinstance(current, ast.Name) and "version" in current.id:
+        if isinstance(current, ast.Name) and (
+            "version" in current.id or "epoch" in current.id
+        ):
+            return True
+    return False
+
+
+def _mentions_fragment(node: ast.AST, fragments: tuple[str, ...]) -> bool:
+    """Whether any attribute or name in ``node`` contains a fragment."""
+    for current in ast.walk(node):
+        if isinstance(current, ast.Attribute) and any(
+            f in current.attr for f in fragments
+        ):
+            return True
+        if isinstance(current, ast.Name) and any(
+            f in current.id for f in fragments
+        ):
             return True
     return False
 
@@ -144,19 +178,148 @@ class UnversionedCacheKey(ProjectRule):
 
     @staticmethod
     def _insertion_key(node: ast.AST) -> ast.expr | None:
-        """The key expression of a cache insertion, or ``None``."""
-        if isinstance(node, ast.Assign):
-            for target in node.targets:
-                if isinstance(target, ast.Subscript) and _is_cache_receiver(
-                    target.value
-                ):
-                    return target.slice
+        return _insertion_key(node)
+
+
+def _insertion_key(node: ast.AST) -> ast.expr | None:
+    """The key expression of a cache insertion, or ``None``.
+
+    Three insertion shapes: a subscript store on a cache/memo receiver,
+    ``.setdefault`` on one, and a ``._store(key, value)`` call — the
+    session layer's accounted LRU insertion helper, whose call sites are
+    where the keys are actually constructed.
+    """
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            if isinstance(target, ast.Subscript) and _is_cache_receiver(
+                target.value
+            ):
+                return target.slice
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
         if (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Attribute)
-            and node.func.attr == "setdefault"
+            node.func.attr == "setdefault"
             and _is_cache_receiver(node.func.value)
             and node.args
         ):
             return node.args[0]
-        return None
+        if node.func.attr == "_store" and len(node.args) >= 2:
+            return node.args[0]
+    return None
+
+
+def _writes_adjacency(node: ast.AST) -> bool:
+    """Whether ``node`` is a statement/call that *writes* an ``_adj``
+    adjacency mapping (assignment into it, deletion from it, or a
+    mutating method call on it).  Exact-name match: ``t_adj`` and
+    friends do not count."""
+
+    def names_adj(expr: ast.AST) -> bool:
+        for current in ast.walk(expr):
+            if isinstance(current, ast.Attribute) and current.attr == "_adj":
+                return True
+            if isinstance(current, ast.Name) and current.id == "_adj":
+                return True
+        return False
+
+    if isinstance(node, ast.Assign):
+        return any(names_adj(target) for target in node.targets)
+    if isinstance(node, (ast.AugAssign, ast.Delete)):
+        targets = (
+            node.targets if isinstance(node, ast.Delete) else [node.target]
+        )
+        return any(names_adj(target) for target in targets)
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _MUTATING_CALLS
+    ):
+        return names_adj(node.func.value)
+    return False
+
+
+class ComponentEpochDiscipline(ProjectRule):
+    """RPL014 — adjacency state changed without the component epoch.
+
+    The two-level invalidation scheme holds only if (a) every mutator
+    that touches adjacency state also maintains the component map /
+    epoch bookkeeping, and (b) every component-scoped cache key pairs
+    the component id with its epoch.  This rule checks both sides:
+
+    * in the module defining ``UncertainGraph``, a function that writes
+      ``_adj`` state must mention the component bookkeeping (an
+      identifier containing ``comp`` or ``epoch``) somewhere in its
+      body — a mutator that skips it leaves component-scoped cache
+      entries reachable but stale;
+    * in the session layer's reach (same scope as RPL012), a cache key
+      that mentions a component id (``cid`` / ``comp``) without an
+      ``epoch`` stays reachable across mutations of that component.
+    """
+
+    rule_id: ClassVar[str] = "RPL014"
+    title: ClassVar[str] = "adjacency or cache write skips component epoch"
+
+    def check_project(
+        self, context: "FileContext", project: ProjectContext
+    ) -> Iterator[Finding]:
+        if is_test_path(context):
+            return
+        defines_graph = any(
+            isinstance(node, ast.ClassDef) and node.name == "UncertainGraph"
+            for node in ast.walk(context.tree)
+        )
+        if defines_graph:
+            yield from self._check_graph_module(context)
+        if project.module_of(context) in _session_reachable_modules(project):
+            yield from self._check_cache_keys(context)
+
+    def _check_graph_module(
+        self, context: "FileContext"
+    ) -> Iterator[Finding]:
+        for func in ast.walk(context.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            writes = [
+                node for node in ast.walk(func) if _writes_adjacency(node)
+            ]
+            if not writes:
+                continue
+            if _mentions_fragment(func, ("comp", "epoch")):
+                continue
+            yield self.finding(
+                context,
+                writes[0],
+                "adjacency state written without touching the component "
+                "map/epoch; component-scoped cache entries stay reachable "
+                "but stale after this mutation",
+            )
+
+    def _check_cache_keys(self, context: "FileContext") -> Iterator[Finding]:
+        for func in ast.walk(context.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            params = _param_names(func)
+            local_values: dict[str, ast.expr] = {}
+            for node in ast.walk(func):
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            local_values[target.id] = node.value
+            for node in ast.walk(func):
+                key = _insertion_key(node)
+                if key is None:
+                    continue
+                if isinstance(key, ast.Name):
+                    if key.id in params:
+                        continue
+                    key = local_values.get(key.id, key)
+                if not _mentions_fragment(key, ("cid", "comp")):
+                    continue
+                if _mentions_fragment(key, ("epoch",)):
+                    continue
+                yield self.finding(
+                    context,
+                    node,
+                    "component-scoped cache key carries a component id "
+                    "without its epoch; the entry stays reachable after "
+                    "the component mutates",
+                )

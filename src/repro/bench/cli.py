@@ -26,7 +26,13 @@ compile / search) recorded by the stats timings.
 above), ``queries`` (the repeated-query cold-vs-warm session suite of
 :mod:`repro.bench.queries`, written to ``BENCH_queries.json``),
 ``prune`` (the prune-kernel arrays-vs-legacy peel suite of
-:mod:`repro.bench.prune`, written to ``BENCH_prune.json``), or ``all``.
+:mod:`repro.bench.prune`, written to ``BENCH_prune.json``),
+``streaming`` (the edge-update maintain-vs-recompute suite of
+:mod:`repro.bench.streaming`, written to ``BENCH_streaming.json``), or
+``all``.  The streaming gates: the maintained core must be
+set-identical to a cold recompute after every update, and on full-scale
+runs the reweight stream's maintain arm must beat recompute by at
+least 5x (the scoped-invalidation headline).
 """
 
 from __future__ import annotations
@@ -41,6 +47,12 @@ from repro.bench.runner import (
     BenchReport,
     run_enumeration_bench,
     run_maximum_bench,
+)
+from repro.bench.streaming import (
+    FULL_UPDATES,
+    QUICK_UPDATES,
+    StreamingReport,
+    run_streaming_bench,
 )
 
 __all__ = ["main"]
@@ -59,6 +71,12 @@ FULL_REPS = 5
 #: unless --jobs asks otherwise.
 FULL_JOBS = [1, 2, 4]
 QUICK_JOBS = [1]
+
+#: Full-scale gate for the streaming suite's headline: the reweight
+#: stream's maintain arm must beat per-update recompute by this factor.
+#: Quick runs shrink the graph until per-update recompute is too cheap
+#: to promise a stable ratio, so the floor applies to full runs only.
+STREAMING_HEADLINE_FLOOR = 5.0
 
 
 def _parse_jobs(spec: str) -> list[int]:
@@ -83,12 +101,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--suite",
-        choices=("engines", "queries", "prune", "all"),
+        choices=("engines", "queries", "prune", "streaming", "all"),
         default="engines",
         help=(
             "which benchmarks to run: the engine comparisons (default), "
             "the repeated-query cold-vs-warm session suite, the "
-            "prune-kernel arrays-vs-legacy suite, or all of them"
+            "prune-kernel arrays-vs-legacy suite, the edge-update "
+            "maintain-vs-recompute streaming suite, or all of them"
         ),
     )
     parser.add_argument(
@@ -218,6 +237,36 @@ def _print_queries_report(report: QueriesReport) -> None:
     print(f"  median warm speedup: {report.median_speedup:.2f}x")
 
 
+def _print_streaming_report(report: StreamingReport) -> None:
+    cpu_count = report.provenance.get("cpu_count")
+    updates = report.provenance.get("updates_per_stream")
+    print(
+        f"[{report.benchmark}] incremental maintain vs recompute on "
+        f"{report.dataset} (scale={report.scale}, {updates} updates per "
+        f"stream, median of {report.repetitions}, cpu_count={cpu_count})"
+    )
+    invalidation = report.provenance.get("invalidation", {})
+    for stream in report.streams:
+        flag = "" if stream.identical_output else "  OUTPUT MISMATCH"
+        accounting = ""
+        if isinstance(invalidation, dict) and stream.stream in invalidation:
+            acct = invalidation[stream.stream]
+            accounting = (
+                f" [dirtied={acct['components_dirtied_total']}"
+                f" evicted={acct['artifacts_evicted_total']}"
+                f" retained={acct['artifacts_retained_total']}"
+                f" delta={acct['delta_patches']}"
+                f" full={acct['full_compiles']}]"
+            )
+        print(
+            f"  {stream.stream} k={stream.k} tau={stream.tau}: "
+            f"maintain={stream.maintain_median_s:.3f}s "
+            f"recompute={stream.recompute_median_s:.3f}s "
+            f"speedup={stream.speedup:.2f}x{accounting}{flag}"
+        )
+    print(f"  headline (reweight) speedup: {report.headline_speedup():.2f}x")
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     scale = QUICK_SCALE if args.quick else 1.0
@@ -291,6 +340,27 @@ def main(argv: list[str] | None = None) -> int:
                     f"({op.warm_compile_median_s:.6f}s) — the session must "
                     "replay the cached per-version artifact"
                 )
+
+    if args.suite in ("streaming", "all"):
+        streaming_report = run_streaming_bench(
+            args.dataset,
+            reps,
+            scale,
+            updates=QUICK_UPDATES if args.quick else FULL_UPDATES,
+        )
+        _print_streaming_report(streaming_report)
+        path = streaming_report.write(args.out)
+        print(f"  wrote {path}")
+        if not streaming_report.all_identical():
+            failures.append(
+                "streaming: maintained core differs from cold recompute"
+            )
+        headline = streaming_report.headline_speedup()
+        if not args.quick and headline < STREAMING_HEADLINE_FLOOR:
+            failures.append(
+                f"streaming: reweight maintain speedup {headline:.2f}x is "
+                f"below the {STREAMING_HEADLINE_FLOOR:.0f}x headline floor"
+            )
 
     if args.check and failures:
         for failure in failures:

@@ -282,6 +282,13 @@ def derive_component_view(
     Runs in ``O(sum of member degrees)`` — no sorting, no string keys —
     which is what collapses the pipeline's second compile stage into a
     cheap projection of the first.
+
+    The view is a deep **snapshot**: its arrays are freshly built, never
+    aliases of ``compiled``'s lists.  That independence is load-bearing
+    twice over — views are pickled to worker processes by the parallel
+    layer, and the session caches them per component while
+    :meth:`CompiledGraph.apply_delta` patches the source artifact's rows
+    *in place*; neither may observe later mutations.
     """
     index = compiled.index
     rank = compiled.sort_rank

@@ -14,6 +14,17 @@ deterministic core-maintenance literature the paper cites ([1]):
   and be connected to the changed edge through it; the affected region is
   re-peeled locally.
 
+Both cascades run as **compiled frontier re-peels**: the maintainer
+keeps a :class:`~repro.core.prune_kernel.CompiledGraph` in sync with the
+graph via :meth:`~repro.core.prune_kernel.CompiledGraph.apply_delta`
+(replaying the graph's mutation log), and each update calls
+:func:`~repro.core.prune_kernel.survival_peel` with ``members=`` the
+previous core (plus the candidate region on growth) and ``frontier=``
+the dirty endpoints — the seeded re-peel trusts every untouched member
+and visits only the cascade.  In session mode the compiled artifact is
+the session's own (delta-patched) compile entry, so maintainer updates
+and queries share one lowering.
+
 The maintained core always equals ``dp_core_plus(graph, k, tau)`` — the
 test suite checks this after randomized update sequences.
 """
@@ -24,7 +35,11 @@ from collections import deque
 from typing import TYPE_CHECKING, Union
 
 from repro.core.ktau_core import dp_core_plus
-from repro.core.tau_degree import survival_dp, tau_degree_from_survival
+from repro.core.prune_kernel import (
+    CompiledGraph,
+    compile_graph,
+    survival_peel,
+)
 from repro.uncertain.graph import Node, UncertainGraph
 from repro.utils.validation import (
     validate_k,
@@ -81,6 +96,10 @@ class KTauCoreMaintainer:
         else:
             self._session = source
             self._graph = source.graph
+        # Private-mode compiled artifact, built lazily on the first
+        # update and kept in sync by delta-patching thereafter; session
+        # mode borrows the session's compile entry instead.
+        self._cpg: CompiledGraph | None = None
         # The baseline core is built before any session exists for the
         # maintained copy; incremental updates take over from here.
         self._core: set[Node] = dp_core_plus(  # repro-lint: ignore[RPL008]
@@ -154,46 +173,60 @@ class KTauCoreMaintainer:
     # Internals
     # ------------------------------------------------------------------
 
-    def _tau_degree_within(self, node: Node, members: set[Node]) -> int:
-        """Truncated tau-degree of ``node`` in the subgraph on ``members``."""
-        probs = [
-            p
-            for v, p in self._graph.incident(node).items()
-            if v in members
-        ]
-        row = survival_dp(probs, self.k)
-        return tau_degree_from_survival(row, self.tau)
+    def _compiled(self) -> CompiledGraph:
+        """The compiled arrays for the graph's *current* version.
+
+        Session mode resolves the session's compile entry (which
+        delta-patches itself); private mode keeps one artifact and
+        patches it forward by replaying the graph's mutation log,
+        re-lowering from scratch only when the log no longer covers the
+        gap or contains an op :meth:`~repro.core.prune_kernel.
+        CompiledGraph.apply_delta` does not support.
+        """
+        if self._session is not None:
+            return self._session._compiled_artifact(self._session.version)
+        cpg = self._cpg
+        if cpg is None or cpg.version != self._graph.version:
+            ops = (
+                None
+                if cpg is None
+                else self._graph.mutations_since(cpg.version)
+            )
+            if ops is None or not cpg.apply_delta(ops):
+                cpg = compile_graph(self._graph)
+            self._cpg = cpg
+        return cpg
 
     def _shrink(self, seed_edge: tuple[Node, Node]) -> None:
-        """Deletion/decrease: peel from the affected endpoints.
+        """Deletion/decrease: seeded re-peel from the affected endpoints.
 
         Only current core members adjacent to the change can fall out,
-        and their removal cascades — exactly a peeling restricted to the
-        current core.
+        and their removal cascades — exactly the compiled frontier
+        re-peel with ``members=`` the previous core and ``frontier=`` the
+        changed endpoints still in it.  A change with neither endpoint in
+        the core cannot touch any member's incident row, so the core is
+        already the fixpoint.
         """
-        queue = deque(
-            u for u in seed_edge
-            if u in self._core
-            and self._tau_degree_within(u, self._core) < self.k
+        frontier = [u for u in seed_edge if u in self._core]
+        if not frontier:
+            return
+        self._core = set(
+            survival_peel(
+                self._compiled(), self.k, self.tau,
+                members=self._core, frontier=frontier,
+            )
         )
-        condemned = set(queue)
-        while queue:
-            u = queue.popleft()
-            self._core.discard(u)
-            for v in self._graph.neighbors(u):
-                if v in self._core and v not in condemned:
-                    if self._tau_degree_within(v, self._core) < self.k:
-                        condemned.add(v)
-                        queue.append(v)
 
     def _grow(self, u: Node, v: Node) -> None:
-        """Insertion/increase: re-peel the affected region.
+        """Insertion/increase: seeded re-peel over the affected region.
 
         New core members must be connected to the changed edge through
         nodes outside the current core (members stay members: their
-        tau-degrees only went up).  We collect that candidate region —
-        non-core nodes reachable from the endpoints without crossing the
-        existing core — and run a local peeling over core + region.
+        tau-degrees only went up, and the frontier re-peel's trusted-
+        member contract explicitly admits monotone-up row changes).  We
+        collect that candidate region — non-core nodes reachable from
+        the endpoints without crossing the existing core — and re-peel
+        ``core | region`` with the region as the frontier.
         """
         region: set[Node] = set()
         queue = deque(x for x in (u, v) if x not in self._core)
@@ -206,19 +239,9 @@ class KTauCoreMaintainer:
                     queue.append(w)
         if not region:
             return
-
-        # Local peeling over the candidate union; core members act as
-        # immovable support (they cannot leave on an insertion).
-        candidates = set(region)
-        support = self._core | candidates
-        changed = True
-        while changed:
-            changed = False
-            # Iteration order cannot change the fixpoint; the snapshot
-            # only exists so the set can shrink mid-pass.
-            for x in list(candidates):  # repro-lint: ignore[RPL009]
-                if self._tau_degree_within(x, support) < self.k:
-                    candidates.discard(x)
-                    support.discard(x)
-                    changed = True
-        self._core |= candidates
+        self._core = set(
+            survival_peel(
+                self._compiled(), self.k, self.tau,
+                members=self._core | region, frontier=region,
+            )
+        )

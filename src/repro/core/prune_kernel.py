@@ -62,8 +62,8 @@ this contract, including ``p == 1.0`` edges and probabilities straddling
 from __future__ import annotations
 
 from array import array
-from bisect import bisect_left
-from typing import AbstractSet, Iterable, Literal
+from bisect import bisect_left, insort
+from typing import AbstractSet, Any, Iterable, Literal
 
 from repro.core.tau_degree import STABLE_P_LIMIT
 from repro.uncertain.graph import Node, UncertainGraph
@@ -304,6 +304,148 @@ class CompiledGraph:
         self._core_ids = core
         return core
 
+    # ------------------------------------------------------------------
+    # Delta compile
+    # ------------------------------------------------------------------
+
+    #: Mutation-log ops :meth:`apply_delta` can patch in place.
+    #: ``remove_node`` is deliberately absent: deleting a row renumbers
+    #: every dense id, which is a full re-lower by definition.
+    _DELTA_OPS = frozenset(
+        {"set_probability", "add_edge", "remove_edge", "add_node"}
+    )
+
+    def apply_delta(self, ops: Iterable[tuple[Any, ...]]) -> bool:
+        """Patch the artifact in place with a mutation-log slice.
+
+        ``ops`` is the tuple returned by
+        :meth:`repro.uncertain.graph.UncertainGraph.mutations_since` for
+        this artifact's :attr:`version`.  Returns ``True`` when every op
+        was applied — the patched artifact is then equivalent to
+        :func:`compile_graph` on the mutated graph (same node order, same
+        insertion-order CSR float sequences, same ascending rows; lazily
+        memoized descending rows and core numbers are invalidated only
+        for touched rows) — or ``False`` without touching anything when
+        the slice contains an op the patcher does not support
+        (``remove_node``), in which case the caller must re-lower.
+
+        Reweights are ``O(d + log d)`` (two row writes plus an
+        ascending-row bisect); structural single-edge ops splice the flat
+        lists (``O(m)`` worst case) — still far cheaper than a full
+        compile, which pays the per-row sorts on top.
+        """
+        ops = tuple(ops)
+        for entry in ops:
+            if entry[1] not in self._DELTA_OPS:
+                return False
+        for entry in ops:
+            op = entry[1]
+            if op == "set_probability":
+                _, _, u, v, old_p, new_p = entry
+                self._patch_reweight(u, v, old_p, new_p)
+            elif op == "add_edge":
+                _, _, u, v, p, new_u, new_v = entry
+                # The graph creates ``u`` before ``v`` (setdefault
+                # order), so the dense numbering must append in the same
+                # order to match a cold compile.
+                if new_u:
+                    self._append_node(u)
+                if new_v:
+                    self._append_node(v)
+                self._insert_edge(u, v, p)
+            elif op == "remove_edge":
+                _, _, u, v, p = entry
+                self._delete_edge(u, v, p)
+            else:  # add_node
+                self._append_node(entry[2])
+        if ops:
+            self.version = ops[-1][0]
+        return True
+
+    def _append_node(self, node: Node) -> None:
+        """Append an isolated node (new dense id, empty row)."""
+        i = self.n
+        self.nodes = self.nodes + (node,)
+        self.index[node] = i
+        self.n = i + 1
+        self.row_offsets.append(self.row_offsets[-1])
+        self.asc_rows.append([])
+        self._desc_rows.append(None)
+        # Appending a node shifts later sort ranks monotonically:
+        # relative order of pre-existing nodes is preserved, so memoized
+        # descending rows (rank is only the tie-break) stay valid.
+        nodes = self.nodes
+        order = sorted(range(self.n), key=lambda j: node_sort_key(nodes[j]))
+        rank = [0] * self.n
+        for r, j in enumerate(order):
+            rank[j] = r
+        self.sort_rank = rank
+        if self._core_ids is not None:
+            self._core_ids.append(0)
+
+    def _row_pos(self, i: int, nbr_id: int) -> int:
+        """Flat position of neighbor ``nbr_id`` within row ``i``."""
+        rf = self.row_offsets
+        ids = self.nbr_ids
+        for j in range(rf[i], rf[i + 1]):
+            if ids[j] == nbr_id:
+                return j
+        raise KeyError((self.nodes[i], self.nodes[nbr_id]))
+
+    def _patch_reweight(
+        self, u: Node, v: Node, old_p: float, new_p: float
+    ) -> None:
+        iu = self.index[u]
+        iv = self.index[v]
+        self.nbr_probs[self._row_pos(iu, iv)] = new_p
+        self.nbr_probs[self._row_pos(iv, iu)] = new_p
+        for i in (iu, iv):
+            row = self.asc_rows[i]
+            row.pop(bisect_left(row, old_p))
+            insort(row, new_p)
+            self._desc_rows[i] = None
+        # Reweights leave the deterministic structure — and therefore the
+        # memoized core numbers — untouched.
+
+    def _splice_in(self, i: int, nbr_id: int, p: float) -> None:
+        # The graph appends a new edge at the end of each endpoint's
+        # adjacency dict, so the row end is the insertion-order position.
+        pos = self.row_offsets[i + 1]
+        self.nbr_ids.insert(pos, nbr_id)
+        self.nbr_probs.insert(pos, p)
+        rf = self.row_offsets
+        for t in range(i + 1, len(rf)):
+            rf[t] += 1
+
+    def _splice_out(self, i: int, nbr_id: int) -> None:
+        pos = self._row_pos(i, nbr_id)
+        del self.nbr_ids[pos]
+        del self.nbr_probs[pos]
+        rf = self.row_offsets
+        for t in range(i + 1, len(rf)):
+            rf[t] -= 1
+
+    def _insert_edge(self, u: Node, v: Node, p: float) -> None:
+        iu = self.index[u]
+        iv = self.index[v]
+        self._splice_in(iu, iv, p)
+        self._splice_in(iv, iu, p)
+        for i in (iu, iv):
+            insort(self.asc_rows[i], p)
+            self._desc_rows[i] = None
+        self._core_ids = None
+
+    def _delete_edge(self, u: Node, v: Node, p: float) -> None:
+        iu = self.index[u]
+        iv = self.index[v]
+        self._splice_out(iu, iv)
+        self._splice_out(iv, iu)
+        for i in (iu, iv):
+            row = self.asc_rows[i]
+            row.pop(bisect_left(row, p))
+            self._desc_rows[i] = None
+        self._core_ids = None
+
 
 #: Backwards-compatible name from the PR 5 era, when the artifact served
 #: only the pruning stage.  Same class; the search kernel now derives
@@ -351,11 +493,34 @@ def _initial_dead(
     return dead
 
 
+def _frontier_seeds(
+    cpg: CompiledPruneGraph,
+    frontier: Iterable[Node],
+    dead: bytearray,
+) -> list[int]:
+    """Deduplicated compiled ids of live frontier nodes, in given order.
+
+    Frontier nodes absent from the graph or outside the member set are
+    ignored — a maintainer's dirty endpoints may have been deleted or
+    may never have been part of the seeded core.
+    """
+    index_get = cpg.index.get
+    seeds: list[int] = []
+    seen: set[int] = set()
+    for u in frontier:
+        i = index_get(u)
+        if i is not None and not dead[i] and i not in seen:
+            seen.add(i)
+            seeds.append(i)
+    return seeds
+
+
 def survival_peel(
     cpg: CompiledPruneGraph,
     k: int,
     tau: float,
     members: Iterable[Node] | None = None,
+    frontier: Iterable[Node] | None = None,
 ) -> set[Node]:
     """DPCore+ (Algorithm 2) over the compiled arrays.
 
@@ -370,13 +535,26 @@ def survival_peel(
     core converges to the same unique fixpoint, so the result set is
     independent of the seed.
 
+    ``frontier`` turns the peel into a **seeded re-peel**: only frontier
+    nodes get an initial fresh DP; every other member is *trusted* — it
+    satisfied the peel condition in a previous fixpoint whose live set
+    restricted to its (unchanged) incident row can only shrink through
+    the cascade, or grow monotonically when re-admitting a region — and
+    is evaluated lazily, with a fresh DP, the first time a dying
+    neighbor touches it.  The caller's contract: ``frontier`` must cover
+    every member whose incident edges changed since the trusted state
+    was a fixpoint.  Untouched trusted nodes then survive by
+    construction, so the seeded re-peel converges to exactly the full
+    peel's fixpoint while visiting only the dirty region.  The
+    deterministic-core prefilter is skipped in frontier mode — it would
+    condemn nodes without notifying their neighbors, which is only sound
+    when every live node gets an initial DP.
+
     Two flat-array specifics beyond the legacy code, neither of which
     can change the fixpoint:
 
     * per-node DP rows live in one preallocated float buffer with a
-      uniform ``k + 1`` stride — the prefilter leaves only nodes with
-      core number >= k, so every truncation cap ``min(c_u, k)`` is
-      exactly ``k``;
+      uniform ``k + 1`` stride;
     * the final sweep rebuilds only *stale* nodes (those holding an
       incremental Eq. (6) update since their last fresh DP): a node
       untouched since its rebuild would reproduce that division-free DP
@@ -389,14 +567,15 @@ def survival_peel(
     rf = cpg.row_offsets
     ids = cpg.nbr_ids
     ps = cpg.nbr_probs
-    core = cpg.core_ids()
 
     dead = _initial_dead(cpg, members)
-    for i in range(n):
-        # Definition 6 prefilter: xi_u <= c_u, so core number < k means
-        # the node cannot survive any (k, tau)-peel.
-        if core[i] < k:
-            dead[i] = 1
+    if frontier is None:
+        core = cpg.core_ids()
+        for i in range(n):
+            # Definition 6 prefilter: xi_u <= c_u, so core number < k
+            # means the node cannot survive any (k, tau)-peel.
+            if core[i] < k:
+                dead[i] = 1
 
     stride = k + 1
     state = [0.0] * (n * stride)
@@ -404,6 +583,7 @@ def survival_peel(
     tau_deg = [0] * n
     stale = bytearray(n)
     queued = bytearray(n)
+    known = bytearray(n)
     p_limit = STABLE_P_LIMIT
 
     def rebuild(i: int) -> int:
@@ -431,27 +611,38 @@ def survival_peel(
                 break
         tau_deg[i] = r
         stale[i] = 0
+        known[i] = 1
         return r
 
-    frontier: list[int] = []
-    for i in range(n):
-        if dead[i]:
-            continue
+    if frontier is None:
+        seeds = [i for i in range(n) if not dead[i]]
+    else:
+        seeds = _frontier_seeds(cpg, frontier, dead)
+    worklist: list[int] = []
+    for i in seeds:
         if rebuild(i) < k:
             queued[i] = 1
-            frontier.append(i)
+            worklist.append(i)
+    frontier_bucket = worklist
 
     while True:
         # Bucketed worklist: drain the current frontier, collecting the
         # next round's condemnations into a fresh bucket (FIFO semantics
         # without the deque).
-        while frontier:
+        while frontier_bucket:
             bucket: list[int] = []
-            for i in frontier:
+            for i in frontier_bucket:
                 dead[i] = 1
                 for j in range(rf[i], rf[i + 1]):
                     v = ids[j]
                     if dead[v] or queued[v]:
+                        continue
+                    if not known[v]:
+                        # Trusted member touched for the first time:
+                        # evaluate with a fresh DP (no state to patch).
+                        if rebuild(v) < k:
+                            queued[v] = 1
+                            bucket.append(v)
                         continue
                     p = ps[j]
                     if p < p_limit:
@@ -482,19 +673,21 @@ def survival_peel(
                     if rebuild(v) < k:
                         queued[v] = 1
                         bucket.append(v)
-            frontier = bucket
+            frontier_bucket = bucket
 
         # Final verification sweep: recompute survivors whose state
         # carries incremental drift; continue peeling to a clean
-        # fixpoint.
-        frontier = []
+        # fixpoint.  Trusted members never touched by the cascade have
+        # ``stale == 0`` and are skipped — their survival is the seeded
+        # re-peel's invariant, not something to recheck.
+        frontier_bucket = []
         for i in range(n):
             if dead[i] or not stale[i]:
                 continue
             if rebuild(i) < k:
                 queued[i] = 1
-                frontier.append(i)
-        if not frontier:
+                frontier_bucket.append(i)
+        if not frontier_bucket:
             nodes = cpg.nodes
             return {nodes[i] for i in range(n) if not dead[i]}
 
@@ -504,6 +697,7 @@ def distribution_peel(
     k: int,
     tau: float,
     members: Iterable[Node] | None = None,
+    frontier: Iterable[Node] | None = None,
 ) -> set[Node]:
     """DPCore (the Bonchi et al. [16] baseline) over the compiled arrays.
 
@@ -515,6 +709,11 @@ def distribution_peel(
     scratch buffers are preallocated once at the maximum degree and
     reused across every rebuild (each rebuild writes the ``0..d`` prefix
     it reads, so reuse is float-exact).
+
+    ``frontier`` requests a seeded re-peel with the same trusted-member
+    contract as :func:`survival_peel`: only frontier members get an
+    initial DP, everyone else is evaluated lazily when the cascade first
+    touches them.
     """
     validate_k(k)
     tau = validate_tau(tau)
@@ -537,6 +736,7 @@ def distribution_peel(
     tau_deg = [0] * n
     stale = bytearray(n)
     queued = bytearray(n)
+    known = bytearray(n)
     p_limit = STABLE_P_LIMIT
 
     def rebuild(i: int) -> int:
@@ -568,24 +768,32 @@ def distribution_peel(
         state[i] = eq
         tau_deg[i] = r
         stale[i] = 0
+        known[i] = 1
         return r
 
-    frontier: list[int] = []
-    for i in range(n):
-        if dead[i]:
-            continue
+    if frontier is None:
+        seeds = [i for i in range(n) if not dead[i]]
+    else:
+        seeds = _frontier_seeds(cpg, frontier, dead)
+    frontier_bucket: list[int] = []
+    for i in seeds:
         if rebuild(i) < k:
             queued[i] = 1
-            frontier.append(i)
+            frontier_bucket.append(i)
 
     while True:
-        while frontier:
+        while frontier_bucket:
             bucket: list[int] = []
-            for i in frontier:
+            for i in frontier_bucket:
                 dead[i] = 1
                 for j in range(rf[i], rf[i + 1]):
                     v = ids[j]
                     if dead[v] or queued[v]:
+                        continue
+                    if not known[v]:
+                        if rebuild(v) < k:
+                            queued[v] = 1
+                            bucket.append(v)
                         continue
                     p = ps[j]
                     if p < p_limit:
@@ -613,16 +821,16 @@ def distribution_peel(
                     if rebuild(v) < k:
                         queued[v] = 1
                         bucket.append(v)
-            frontier = bucket
+            frontier_bucket = bucket
 
-        frontier = []
+        frontier_bucket = []
         for i in range(n):
             if dead[i] or not stale[i]:
                 continue
             if rebuild(i) < k:
                 queued[i] = 1
-                frontier.append(i)
-        if not frontier:
+                frontier_bucket.append(i)
+        if not frontier_bucket:
             nodes = cpg.nodes
             return {nodes[i] for i in range(n) if not dead[i]}
 
@@ -633,6 +841,7 @@ def topk_peel(
     tau: float,
     members: Iterable[Node] | None = None,
     fixed: AbstractSet[Node] | None = None,
+    frontier: Iterable[Node] | None = None,
 ) -> frozenset[Node] | None:
     """Algorithm 3's (Top_k, tau)-core peel over the compiled arrays.
 
@@ -649,6 +858,16 @@ def topk_peel(
     are then re-gathered from live entries); ``fixed`` nodes absent from
     the graph or the member set never abort, matching the legacy peel
     over an induced subgraph that simply does not contain them.
+
+    ``frontier`` requests a seeded re-peel (trusted-member contract of
+    :func:`survival_peel`): only frontier members are checked up front,
+    every other member's ascending live row is gathered lazily the first
+    time the cascade touches it.  Lazy gathers exclude exactly the
+    neighbors whose bisect-pop can no longer arrive — non-members and
+    already-*drained* condemned nodes — while a condemned-but-undrained
+    neighbor stays in the gathered row because its pop is still coming:
+    that bookkeeping keeps every row consistent with the pops the drain
+    will actually perform, so the fixpoint matches the eager peel's.
     """
     validate_k(k)
     tau = validate_tau(tau)
@@ -684,6 +903,64 @@ def topk_peel(
             product *= p
         # Hot path: tau_floor = threshold_floor(tau) fast path.
         return product < tau_floor  # repro-lint: ignore[RPL001]
+
+    if frontier is not None:
+        # Seeded re-peel: no pristine-row prefilter (it condemns without
+        # notifying neighbors, which is only sound when every member is
+        # checked up front) and no eager gather.
+        outside = bytes(condemned)
+        gathered = bytearray(n)
+        drained = bytearray(n)
+        vals: list[list[float]] = [[] for _ in range(n)]
+
+        def gather(i: int) -> list[float]:
+            row = sorted(
+                ps[j]
+                for j in range(rf[i], rf[i + 1])
+                if not outside[ids[j]] and not drained[ids[j]]
+            )
+            vals[i] = row
+            gathered[i] = 1
+            return row
+
+        stack: list[int] = []
+        for i in _frontier_seeds(cpg, frontier, condemned):
+            if below(gather(i)):
+                if is_fixed[i]:
+                    return None
+                condemned[i] = 1
+                stack.append(i)
+
+        while stack:
+            u = stack.pop()
+            drained[u] = 1
+            for j in range(rf[u], rf[u + 1]):
+                v = ids[j]
+                if condemned[v]:
+                    continue
+                if not gathered[v]:
+                    # Trusted member touched for the first time: the
+                    # fresh gather already excludes u (just drained).
+                    if below(gather(v)):
+                        if is_fixed[v]:
+                            return None
+                        condemned[v] = 1
+                        stack.append(v)
+                    continue
+                vv = vals[v]
+                idx = bisect_left(vv, ps[j])
+                vv.pop(idx)
+                if idx <= len(vv) - k:
+                    continue
+                if below(vv):
+                    if is_fixed[v]:
+                        return None
+                    condemned[v] = 1
+                    stack.append(v)
+
+        return frozenset(
+            nodes[i] for i in range(n) if not condemned[i]
+        )
 
     # Phase 1 — prefilter on the pristine full rows.  pi_k over the
     # whole row upper-bounds pi_k under any node removals (probabilities

@@ -9,15 +9,37 @@ though those stages depend only on ``(graph, k, tau, flags)``.
 A :class:`PreparedGraph` wraps one :class:`~repro.uncertain.graph.
 UncertainGraph` and routes every query through the staged pipeline of
 :mod:`repro.core.pipeline`, memoizing each stage artifact in a bounded
-LRU keyed by::
+LRU under **two key scopes**:
 
-    (graph.version, stage, rule/flags, k, tau, ...)
+* whole-graph artifacts stay keyed by the monotone global version::
 
-``graph.version`` is the monotone mutation counter every
-:class:`UncertainGraph` mutator bumps — so a mutation invalidates the
-whole cache *by construction*: stale entries can never be looked up
-again, and they age out of the LRU (or go at once via
-:meth:`purge_stale`).
+      (graph.version, "compile")          # unified flat-CSR lowering
+      (graph.version, "core_numbers")
+
+  A mutation bumps the version, so these can never be looked up stale —
+  but the compile entry is not always rebuilt from scratch: on a miss
+  the session replays the graph's bounded mutation log into the newest
+  superseded artifact via :meth:`~repro.core.prune_kernel.CompiledGraph.
+  apply_delta` (a *delta compile*), falling back to a full re-lower only
+  when the log has gaps or contains an unsupported op.
+
+* component-scoped artifacts — peel survivor sets, cut components,
+  compiled search views, maximum-search memos, anchored child sessions —
+  key on the graph's **per-component version vector** instead::
+
+      ("c", component_id, epoch, stage, rule/flags, k, tau, ...)
+
+  ``(component_id, epoch)`` pairs are never reused and a mutator bumps
+  only the touched component's epoch, so a mutation in one component
+  leaves every *other* component's cached artifacts reachable and warm:
+  the next query re-peels, re-cuts and re-compiles only the dirty
+  component and assembles the rest from cache hits.  The peels, the cut
+  split and the per-component searches all factorize across connected
+  components (no edge crosses one), which is what makes the per-scope
+  assembly exact.
+
+Stale entries of either scope can never be looked up again; they age
+out of the LRU (or go at once via :meth:`purge_stale`).
 
 What makes replaying artifacts sound:
 
@@ -78,7 +100,11 @@ _MISSING: Any = object()
 #: Default LRU bound: stage artifacts can hold component subgraphs and
 #: compiled CSR bundles, so the cache is bounded by entry *count* and
 #: sized for a handful of (k, tau) working sets, not unbounded history.
-_DEFAULT_MAX_ENTRIES = 32
+#: Component-scoped keys multiply the entry count by the number of
+#: components a workload touches, hence the generous default (the
+#: entries themselves are small — the big compile artifact is a single
+#: version-scoped entry).
+_DEFAULT_MAX_ENTRIES = 512
 
 
 @dataclass
@@ -86,12 +112,18 @@ class SessionCacheStats:
     """Hit/miss/eviction accounting for one :class:`PreparedGraph`.
 
     One lookup against the LRU counts exactly one hit or one miss; a
-    query may perform several stage lookups (prune, cut, compile, ...).
+    query may perform several stage lookups per component (prune, cut,
+    compile, ...).  ``delta_patches`` / ``full_compiles`` split the
+    compile misses by how they were served: a delta patch replayed the
+    mutation log into the previous artifact, a full compile re-lowered
+    the graph from scratch.
     """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    delta_patches: int = 0
+    full_compiles: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -105,8 +137,10 @@ class PreparedGraph:
 
     The session *shares* the caller's graph object (no copy): mutate it
     freely between queries — every mutator bumps
-    :attr:`~repro.uncertain.graph.UncertainGraph.version`, and cache
-    keys embed the version, so stale artifacts are unreachable.
+    :attr:`~repro.uncertain.graph.UncertainGraph.version` and the
+    touched component's epoch; cache keys embed one or the other, so
+    stale artifacts are unreachable while untouched components' entries
+    stay warm.
 
     Example::
 
@@ -159,19 +193,61 @@ class PreparedGraph:
             "misses": self.cache_stats.misses,
             "evictions": self.cache_stats.evictions,
             "hit_rate": self.cache_stats.hit_rate,
+            "delta_patches": self.cache_stats.delta_patches,
+            "full_compiles": self.cache_stats.full_compiles,
         }
 
     def purge_stale(self) -> int:
-        """Drop entries keyed at superseded versions; return the count.
+        """Drop unreachable entries; return the count.
 
-        Purging is optional — stale keys can never be looked up again —
-        but frees their memory eagerly instead of waiting for LRU churn.
+        Version-scoped keys are stale when their version is superseded;
+        component-scoped ``("c", cid, epoch, ...)`` keys are stale when
+        the graph no longer carries that exact ``(cid, epoch)`` pair —
+        entries of *untouched* components survive a purge, that is the
+        point of the two-level scheme.  Purging is optional (stale keys
+        can never be looked up again) but frees memory eagerly instead
+        of waiting for LRU churn.
         """
         version = self._graph.version
-        stale = [key for key in self._cache if key[0] != version]
+        live = set(self._graph.component_keys())
+        stale = []
+        for key in self._cache:
+            if key[0] == "c":
+                if (key[1], key[2]) not in live:
+                    stale.append(key)
+            elif key[0] != version:
+                stale.append(key)
         for key in stale:
             del self._cache[key]
         return len(stale)
+
+    def retention_info(self) -> dict[str, int]:
+        """Live-vs-stale entry accounting at the current graph state.
+
+        Splits the cache by scope and reachability *without* evicting
+        anything — the streaming bench snapshots this around each update
+        to measure how many artifacts a mutation actually invalidated.
+        """
+        version = self._graph.version
+        live = set(self._graph.component_keys())
+        component_live = component_stale = 0
+        version_live = version_stale = 0
+        for key in self._cache:
+            if key[0] == "c":
+                if (key[1], key[2]) in live:
+                    component_live += 1
+                else:
+                    component_stale += 1
+            elif key[0] == version:
+                version_live += 1
+            else:
+                version_stale += 1
+        return {
+            "component_live": component_live,
+            "component_stale": component_stale,
+            "version_live": version_live,
+            "version_stale": version_stale,
+        }
 
     # ------------------------------------------------------------------
     # LRU internals
@@ -197,6 +273,31 @@ class PreparedGraph:
     # Stage resolution
     # ------------------------------------------------------------------
 
+    def _graph_components(self) -> list[tuple[int, int, tuple[Node, ...]]]:
+        """``(component id, epoch, members)`` per component, canonical order.
+
+        Members are in graph iteration order, and components are ordered
+        by their first node's insertion position — the one canonical
+        order every per-component assembly below concatenates in, so a
+        warm assembly reproduces a cold run's component order exactly.
+        O(n) against the graph's incremental component map.
+        """
+        graph = self._graph
+        buckets: dict[int, list[Node]] = {}
+        order: list[int] = []
+        for u in graph:
+            cid = graph.component_id(u)
+            bucket = buckets.get(cid)
+            if bucket is None:
+                buckets[cid] = bucket = []
+                order.append(cid)
+            bucket.append(u)
+        return [
+            (cid, graph.component_key(buckets[cid][0])[1],
+             tuple(buckets[cid]))
+            for cid in order
+        ]
+
     def _compiled_artifact(self, version: int, timings: Any = None) -> Any:
         """The unified whole-graph flat-CSR compile, cached per version.
 
@@ -205,18 +306,52 @@ class PreparedGraph:
         which replay over the same arrays via ``members=`` — *and* every
         search-view derivation (the per-component ``CompiledComponent``
         bundles are member-filtered from these rows, never recompiled).
-        The compile wall clock is recorded as the ``"compile"`` lap only
-        when the lowering actually runs, so warm queries report a zero
-        compile phase.
+
+        On a miss the session first tries a **delta compile**: the newest
+        superseded artifact is patched forward in place by replaying the
+        graph's mutation log (:meth:`~repro.core.prune_kernel.
+        CompiledGraph.apply_delta` — bit-identical to a cold re-lower for
+        every op it supports), so a reweight stream never pays the
+        ``O(m log d_max)`` lowering again.  A full compile runs only when
+        the log no longer covers the gap or contains a ``remove_node``.
+        The wall clock is recorded as the ``"compile"`` lap only when
+        patching or lowering actually runs, so warm queries report a
+        zero compile phase.
         """
         key = (version, "compile")
         compiled = self._lookup(key)
-        if compiled is _MISSING:
-            t_start = perf_counter()
-            compiled = pipeline.compile_stage(self._graph)
-            if timings is not None:
-                timings.add("compile", perf_counter() - t_start)
-            self._store(key, compiled)
+        if compiled is not _MISSING:
+            return compiled
+        prev_key: tuple[Any, ...] | None = None
+        for k2 in self._cache:
+            if (
+                len(k2) == 2
+                and k2[1] == "compile"
+                and isinstance(k2[0], int)
+                and k2[0] < version
+                and (prev_key is None or k2[0] > prev_key[0])
+            ):
+                prev_key = k2
+        if prev_key is not None:
+            ops = self._graph.mutations_since(prev_key[0])
+            if ops is not None:
+                old = self._cache.pop(prev_key)
+                t_start = perf_counter()
+                if old.apply_delta(ops):
+                    if timings is not None:
+                        timings.add("compile", perf_counter() - t_start)
+                    self.cache_stats.delta_patches += 1
+                    self._store(key, old)
+                    return old
+                # Unsupported op (node removal): the artifact was left
+                # untouched but is superseded either way — drop through
+                # to the full re-lower.
+        t_start = perf_counter()
+        compiled = pipeline.compile_stage(self._graph)
+        if timings is not None:
+            timings.add("compile", perf_counter() - t_start)
+        self.cache_stats.full_compiles += 1
+        self._store(key, compiled)
         return compiled
 
     def core_numbers(self) -> dict[Node, int]:
@@ -227,13 +362,33 @@ class PreparedGraph:
         call — so it is memoized under ``(version, "core_numbers")``,
         derived from the unified compile's lazy CSR decomposition
         whenever one exists (sharing work with any compiled peel that
-        already ran).
+        already ran).  On a miss, a superseded entry is carried forward
+        for free when the mutation log shows only reweights in between:
+        core numbers depend on the deterministic structure alone.
         """
         version = self._graph.version
         key = (version, "core_numbers")
         cached = self._lookup(key)
         if cached is not _MISSING:
             return cached  # type: ignore[no-any-return]
+        prev_key: tuple[Any, ...] | None = None
+        for k2 in self._cache:
+            if (
+                len(k2) == 2
+                and k2[1] == "core_numbers"
+                and isinstance(k2[0], int)
+                and k2[0] < version
+                and (prev_key is None or k2[0] > prev_key[0])
+            ):
+                prev_key = k2
+        if prev_key is not None:
+            ops = self._graph.mutations_since(prev_key[0])
+            if ops is not None and all(
+                entry[1] == "set_probability" for entry in ops
+            ):
+                core = self._cache.pop(prev_key)
+                self._store(key, core)
+                return core  # type: ignore[no-any-return]
         # Derive from the CSR compile only when one already exists (or a
         # compiled-engine query will build it anyway); a legacy-only
         # session shouldn't pay a full lowering for a decomposition the
@@ -260,65 +415,97 @@ class PreparedGraph:
         engine: Engine,
         artifact: Any = None,
     ) -> tuple[Node, ...]:
-        """The prune-stage artifact, cached and monotone-seeded.
+        """The prune-stage survivors, cached per component.
 
-        The key deliberately omits ``engine``: both peel implementations
-        reach the same unique fixpoint set (pinned by the kernel-parity
-        suite), and the artifact is order-normalized, so the entry is
-        shared across engines.  ``artifact`` is the resolved unified
+        The peels factorize across connected components (no edge crosses
+        one, and membership is a within-component condition), so the
+        survivor set is cached as one frozenset per component under
+        ``("c", cid, epoch, "prune", rule, k, tau)``: a mutation dirties
+        only its own component's entries, and the next query re-peels
+        only the dirty components — in **one** union peel over their
+        members, not a peel per component — and assembles the rest from
+        cache hits.  The key deliberately omits ``engine``: both peel
+        implementations reach the same unique fixpoint set (pinned by
+        the kernel-parity suite).  ``artifact`` is the resolved unified
         compile for the compiled engine (the caller resolves it so the
         compile lap lands outside the prune lap).
         """
         if pruning == "none":
             return tuple(self._graph.nodes())
-        key = (version, "prune", pruning, k, tau)
-        cached = self._lookup(key)
-        if cached is not _MISSING:
-            return cached  # type: ignore[no-any-return]
-        seed = self._monotone_seed(version, pruning, k, tau)
-        if engine == "bitset":
-            # Compiled engine: every peel replays over the shared
-            # version-keyed CSR compile; a monotone seed restricts the
-            # peel via members= instead of building an induced subgraph.
-            members = (
-                seed
-                if seed is not None and len(seed) < self._graph.num_nodes
-                else None
+        parts = self._graph_components()
+        alive: set[Node] = set()
+        missing: list[tuple[int, int, tuple[Node, ...]]] = []
+        for cid, epoch, members in parts:
+            cached = self._lookup(("c", cid, epoch, "prune", pruning, k, tau))
+            if cached is _MISSING:
+                missing.append((cid, epoch, members))
+            else:
+                alive.update(cached)
+        if missing:
+            # Union peel over every dirty component at once, each
+            # restricted by the smallest cached monotone superset for its
+            # component when one exists.  Seed restriction is exact per
+            # component (cores never cross components), and the union is
+            # exact because the peels factorize.
+            peel_members: list[Node] = []
+            seeded = False
+            for cid, epoch, members in missing:
+                seed = self._monotone_seed(cid, epoch, pruning, k, tau)
+                if seed is None:
+                    peel_members.extend(members)
+                else:
+                    seeded = True
+                    peel_members.extend(u for u in members if u in seed)
+            whole_graph = (
+                not seeded
+                and len(missing) == len(parts)
             )
-            if artifact is None:
-                artifact = self._compiled_artifact(version)
-            survivors = pipeline.prune_stage(
-                self._graph, k, tau, pruning, engine,
-                compiled=artifact, members=members,
-            )
-            self._store(key, survivors)
-            return survivors
-        if seed is not None and len(seed) < self._graph.num_nodes:
-            # Peel only the cached superset: seed tuples are in graph
-            # iteration order, induced_subgraph preserves that order, and
-            # prune_stage re-normalizes against the sub-order — which is
-            # the graph order restricted — so the artifact is identical
-            # to an unseeded cold peel.
-            base = self._graph.induced_subgraph(seed)
-            survivors = pipeline.prune_stage(base, k, tau, pruning, engine)
-        else:
-            # Unseeded legacy ktau peels reuse the memoized deterministic
-            # core decomposition for their Definition 6 prefilter.
-            core = self.core_numbers() if pruning == "ktau" else None
-            survivors = pipeline.prune_stage(
-                self._graph, k, tau, pruning, engine, core=core
-            )
-        self._store(key, survivors)
-        return survivors
+            if engine == "bitset":
+                # Compiled engine: the peel replays over the shared
+                # version-keyed CSR compile; the member restriction rides
+                # on members= instead of building an induced subgraph.
+                if artifact is None:
+                    artifact = self._compiled_artifact(version)
+                survivors = pipeline.prune_stage(
+                    self._graph, k, tau, pruning, engine,
+                    compiled=artifact,
+                    members=None if whole_graph else tuple(peel_members),
+                )
+            elif whole_graph:
+                # Unseeded full-graph legacy ktau peels reuse the
+                # memoized deterministic core decomposition for their
+                # Definition 6 prefilter.
+                core = self.core_numbers() if pruning == "ktau" else None
+                survivors = pipeline.prune_stage(
+                    self._graph, k, tau, pruning, engine, core=core
+                )
+            else:
+                # Peel only the dirty/seeded superset: induced_subgraph
+                # preserves argument order and prune_stage re-normalizes
+                # against the sub-order, and the peel fixpoint over a
+                # superset of the core equals the whole-graph fixpoint.
+                base = self._graph.induced_subgraph(peel_members)
+                survivors = pipeline.prune_stage(
+                    base, k, tau, pruning, engine
+                )
+            surv_set = frozenset(survivors)
+            alive.update(surv_set)
+            for cid, epoch, members in missing:
+                self._store(
+                    ("c", cid, epoch, "prune", pruning, k, tau),
+                    frozenset(u for u in members if u in surv_set),
+                )
+        return tuple(u for u in self._graph if u in alive)
 
     def _monotone_seed(
         self,
-        version: int,
+        cid: int,
+        epoch: int,
         pruning: PruningRule,
         k: int,
         tau: float,
-    ) -> tuple[Node, ...] | None:
-        """Smallest cached core that provably contains core(k, tau).
+    ) -> frozenset[Node] | None:
+        """Smallest cached per-component core containing core(k, tau).
 
         Core monotonicity: for ``k2 <= k`` and ``tau2 <= tau`` the
         (k, tau)-core is contained in the (k2, tau2)-core (the membership
@@ -326,14 +513,21 @@ class PreparedGraph:
         ``threshold_floor`` is increasing in tau), and by Corollary 1 the
         (Top_k, tau)-core is contained in the (k, tau)-core — so a
         ``ktau`` entry can seed a ``topk`` peel, but not vice versa.
-        The scan is over at most ``max_entries`` keys, far cheaper than
-        any peel it saves.
+        Monotonicity holds within each component independently, so the
+        seed scan is per ``(cid, epoch)``.  The scan is over at most
+        ``max_entries`` keys, far cheaper than any peel it saves.
         """
-        best: tuple[Node, ...] | None = None
+        best: frozenset[Node] | None = None
         for key, value in self._cache.items():
-            if key[0] != version or key[1] != "prune":
+            if (
+                len(key) != 7
+                or key[0] != "c"
+                or key[1] != cid
+                or key[2] != epoch
+                or key[3] != "prune"
+            ):
                 continue
-            _, _, rule2, k2, tau2 = key
+            rule2, k2, tau2 = key[4], key[5], key[6]
             # Cache-key comparison, not a survival-probability check: the
             # keys store caller-supplied tau values verbatim.
             if k2 > k or tau2 > tau:  # repro-lint: ignore[RPL001]
@@ -353,19 +547,27 @@ class PreparedGraph:
         tau: float,
         engine: Engine,
         timings: Any,
-    ) -> pipeline.CutArtifact:
-        """The cut-stage artifact (components + pre-search counters).
+    ) -> tuple[
+        pipeline.CutArtifact,
+        list[tuple[int, int, tuple[UncertainGraph, ...]]],
+    ]:
+        """The cut-stage artifact plus its per-component parts.
 
-        The key is shared between enumeration and maximum queries with
-        the same ``(pruning, cut, k, tau)`` — the cut stage is identical
-        for both.  Phase laps are recorded only when work actually runs;
-        resolving the unified compile *before* the prune lap keeps the
-        ``"compile"`` and ``"prune"`` phases disjoint.
+        The cut split factorizes across graph components (no cut vertex
+        or edge crosses one), so each graph component's search components
+        are cached under ``("c", cid, epoch, "cut", ...)`` and the global
+        artifact is assembled by concatenating the parts in the canonical
+        component order — identical cold and warm by construction.  The
+        returned ``parts`` list ``[(cid, epoch, search_components)]``
+        lets callers key *their* per-component artifacts (search views,
+        maximum memos) and slice the global component tuple per part.
+
+        The per-part entries are shared between enumeration and maximum
+        queries with the same ``(pruning, cut, k, tau)`` — the cut stage
+        is identical for both.  Phase laps are recorded only when work
+        actually runs; resolving the unified compile *before* the prune
+        lap keeps the ``"compile"`` and ``"prune"`` phases disjoint.
         """
-        key = (version, "cut", pruning, cut, k, tau)
-        art = self._lookup(key)
-        if art is not _MISSING:
-            return art  # type: ignore[no-any-return]
         artifact = None
         if engine == "bitset" and pruning != "none":
             artifact = self._compiled_artifact(version, timings)
@@ -373,13 +575,42 @@ class PreparedGraph:
             survivors = self._survivors(
                 version, pruning, k, tau, engine, artifact
             )
-            pruned = self._graph.induced_subgraph(survivors)
-        with timings.lap("cut"):
-            art = pipeline.cut_stage(
-                pruned, k, tau, cut, len(survivors), engine=engine
-            )
-        self._store(key, art)
-        return art
+        surv_set = frozenset(survivors)
+        components: list[UncertainGraph] = []
+        parts: list[tuple[int, int, tuple[UncertainGraph, ...]]] = []
+        cuts_found = 0
+        edges_removed = 0
+        for cid, epoch, members in self._graph_components():
+            ckey = ("c", cid, epoch, "cut", pruning, cut, k, tau)
+            entry = self._lookup(ckey)
+            if entry is _MISSING:
+                comp_surv = tuple(u for u in members if u in surv_set)
+                if not comp_surv:
+                    entry = ((), 0, 0)
+                else:
+                    with timings.lap("cut"):
+                        part_art = pipeline.cut_stage(
+                            self._graph.induced_subgraph(comp_surv),
+                            k, tau, cut, len(comp_surv), engine=engine,
+                        )
+                    entry = (
+                        part_art.components,
+                        part_art.cuts_found,
+                        part_art.edges_removed,
+                    )
+                self._store(ckey, entry)
+            comp_components, comp_cuts, comp_edges = entry
+            components.extend(comp_components)
+            cuts_found += comp_cuts
+            edges_removed += comp_edges
+            parts.append((cid, epoch, comp_components))
+        art = pipeline.CutArtifact(
+            components=tuple(components),
+            cuts_found=cuts_found,
+            edges_removed=edges_removed,
+            nodes_after_pruning=len(survivors),
+        )
+        return art, parts
 
     # ------------------------------------------------------------------
     # Maintainer integration
@@ -395,19 +626,23 @@ class PreparedGraph:
         """Patch the prune cache at the *current* version with ``core``.
 
         Hook for :class:`~repro.core.maintenance.KTauCoreMaintainer`:
-        after mutating the session's graph (which bumped the version and
-        orphaned every cached artifact) the maintainer republishes its
-        incrementally-updated core here, so the next query at these
-        parameters skips the from-scratch peel.  The set is
-        order-normalized exactly like a computed artifact.  Neither a
-        hit nor a miss is counted.
+        after mutating the session's graph (which bumped the touched
+        component's epoch and orphaned its cached artifacts) the
+        maintainer republishes its incrementally-updated core here, so
+        the next query at these parameters skips the from-scratch peel.
+        The core is split into one frozenset per component under the
+        live ``(cid, epoch)`` keys, exactly as a computed peel stores
+        it.  Neither a hit nor a miss is counted.
         """
         if rule not in ("topk", "ktau"):
             raise ValueError(f"cannot store a core for rule {rule!r}")
         validate_k(k)
         tau = validate_tau(tau)
-        key = (self._graph.version, "prune", rule, k, tau)
-        self._store(key, tuple(u for u in self._graph if u in core))
+        for cid, epoch, members in self._graph_components():
+            self._store(
+                ("c", cid, epoch, "prune", rule, k, tau),
+                frozenset(u for u in members if u in core),
+            )
 
     # ------------------------------------------------------------------
     # Queries: enumeration
@@ -449,7 +684,7 @@ class PreparedGraph:
         # The prune/cut stages know two implementations; both compiled
         # search engines share the "bitset" (arrays) peels and artifacts.
         stage_engine = "legacy" if engine == "legacy" else "bitset"
-        art = self._cut_artifact(
+        art, parts = self._cut_artifact(
             version, pruning, cut, k, tau, stage_engine, stats.timings
         )
         stats.nodes_after_pruning = art.nodes_after_pruning
@@ -469,18 +704,31 @@ class PreparedGraph:
             # The search views are *derived* from the whole-graph compile
             # (member-filtered rows, no recompilation), so the expensive
             # lowering stays one-per-version while the cheap view bundles
-            # are keyed by the query parameters that shaped the components.
-            ckey = (
-                version, "views", pruning, cut, k, tau, component_limit,
-            )
-            compiled = self._lookup(ckey)
-            if compiled is _MISSING:
-                artifact = self._compiled_artifact(version, stats.timings)
-                with stats.timings.lap("compile"):
-                    compiled = pipeline.compile_enumeration_stage(
-                        art.components, min_size, component_limit, artifact
-                    )
-                self._store(ckey, compiled)
+            # are cached per graph component: view compilation is
+            # element-wise over search components, and each search
+            # component lives inside exactly one graph component, so a
+            # mutation leaves every other component's views warm.
+            views: list[Any] = []
+            artifact: Any = None
+            for cid, epoch, comp_components in parts:
+                vkey = (
+                    "c", cid, epoch, "views",
+                    pruning, cut, k, tau, component_limit,
+                )
+                part_views = self._lookup(vkey)
+                if part_views is _MISSING:
+                    if artifact is None:
+                        artifact = self._compiled_artifact(
+                            version, stats.timings
+                        )
+                    with stats.timings.lap("compile"):
+                        part_views = pipeline.compile_enumeration_stage(
+                            comp_components, min_size, component_limit,
+                            artifact,
+                        )
+                    self._store(vkey, part_views)
+                views.extend(part_views)
+            compiled = tuple(views)
 
         yield from pipeline.enumeration_search_stage(
             art.components, compiled, k, tau_floor, min_size, insearch,
@@ -530,9 +778,31 @@ class PreparedGraph:
         version = self._graph.version
 
         stage_engine = "legacy" if engine == "legacy" else "bitset"
-        art = self._cut_artifact(
+        art, parts = self._cut_artifact(
             version, "topk", True, k, tau, stage_engine, stats.timings
         )
+
+        # The on-demand memo dicts the search stage fills are cached per
+        # graph component, keyed by *local* search-component ordinal.
+        # They are merged into one transient dict keyed by global ordinal
+        # (what maximum_search_stage indexes by), and any entries the
+        # search filled are written back to the per-component dicts
+        # afterwards — so a mutation in one component keeps every other
+        # component's compiled/color entries warm.
+        memo_stage = "colors_max" if engine == "legacy" else "compile_max"
+        part_memos: list[tuple[int, dict[int, Any]]] = []
+        merged: dict[int, Any] = {}
+        offset = 0
+        for cid, epoch, comp_components in parts:
+            mkey = ("c", cid, epoch, memo_stage, k, tau)
+            local = self._lookup(mkey)
+            if local is _MISSING:
+                local = {}
+                self._store(mkey, local)
+            for loc, entry in local.items():
+                merged[offset + loc] = entry
+            part_memos.append((offset, local))
+            offset += len(comp_components)
 
         compiled: dict[int, Any] | None = None
         colors: dict[int, Any] | None = None
@@ -541,23 +811,20 @@ class PreparedGraph:
         if engine != "legacy":
             n_jobs = resolve_jobs(jobs)
             artifact = self._compiled_artifact(version, stats.timings)
-            ckey = (version, "compile_max", k, tau)
-            compiled = self._lookup(ckey)
-            if compiled is _MISSING:
-                compiled = {}
-                self._store(ckey, compiled)
+            compiled = merged
         else:
-            ckey = (version, "colors_max", k, tau)
-            colors = self._lookup(ckey)
-            if colors is _MISSING:
-                colors = {}
-                self._store(ckey, colors)
+            colors = merged
 
         best, best_size = pipeline.maximum_search_stage(
             art.components, compiled, colors, k, tau, tau_floor, min_size,
             use_advanced_one, use_advanced_two, insearch, engine, n_jobs,
             stats, artifact=artifact,
         )
+        for (off, local), (_, _, comp_components) in zip(part_memos, parts):
+            for loc in range(len(comp_components)):
+                entry = merged.get(off + loc, _MISSING)
+                if entry is not _MISSING:
+                    local[loc] = entry
         stats.best_size = best_size if best is not None else 0
         if best is None or len(best) < min_size:
             return None
@@ -581,9 +848,14 @@ class PreparedGraph:
         ``None`` is cached for dead anchors (the fixed set cannot survive
         the peel), so repeats of a negative query cost only the lookup.
         The child session owns the anchored core subgraph, giving the
-        inner enumeration its own warm cut/compile artifacts.
+        inner enumeration its own warm cut/compile artifacts.  The key is
+        component-scoped by the anchor's component: the anchored region
+        (a neighborhood of the anchor set) lives entirely inside that
+        component, so a mutation elsewhere keeps the child warm.
         """
-        key = (self._graph.version, stage, anchor_key, k, tau)
+        anchor = next(iter(fixed))
+        cid, epoch = self._graph.component_key(anchor)
+        key = ("c", cid, epoch, stage, anchor_key, k, tau)
         child = self._lookup(key)
         if child is not _MISSING:
             return child  # type: ignore[no-any-return]

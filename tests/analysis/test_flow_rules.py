@@ -1,4 +1,4 @@
-"""Fixture tests for the whole-program flow rules (RPL009–RPL013).
+"""Fixture tests for the whole-program flow rules (RPL009–RPL014).
 
 Each rule gets at least one seeded violation the rule must catch, a
 sanctioned counterpart it must stay quiet on, and a pragma-suppression
@@ -668,3 +668,127 @@ class TestUnpicklableSubmission:
             """,
         )
         assert rules_of(lint_file(path), "RPL013") == []
+
+
+# ----------------------------------------------------------------------
+# RPL014: component-epoch discipline
+# ----------------------------------------------------------------------
+
+class TestComponentEpochDiscipline:
+    def test_flags_mutator_skipping_epoch(self, tmp_path: Path) -> None:
+        path = write(
+            tmp_path,
+            "uncertain/graph.py",
+            """
+            class UncertainGraph:
+                def add_edge(self, u, v, p):
+                    self._adj.setdefault(u, {})[v] = p
+                    self._adj.setdefault(v, {})[u] = p
+                    self._version += 1
+            """,
+        )
+        findings = rules_of(lint_file(path), "RPL014")
+        assert len(findings) == 1
+        assert "component" in findings[0].message
+
+    def test_mutator_touching_epoch_is_sanctioned(
+        self, tmp_path: Path
+    ) -> None:
+        path = write(
+            tmp_path,
+            "uncertain/graph.py",
+            """
+            class UncertainGraph:
+                def add_edge(self, u, v, p):
+                    self._adj.setdefault(u, {})[v] = p
+                    self._adj.setdefault(v, {})[u] = p
+                    self._version += 1
+                    self._comp_epoch[self._comp_id[u]] = self._version
+            """,
+        )
+        assert rules_of(lint_file(path), "RPL014") == []
+
+    def test_reader_never_flagged(self, tmp_path: Path) -> None:
+        path = write(
+            tmp_path,
+            "uncertain/graph.py",
+            """
+            class UncertainGraph:
+                def probability(self, u, v):
+                    return self._adj[u][v]
+            """,
+        )
+        assert rules_of(lint_file(path), "RPL014") == []
+
+    def test_flags_component_key_without_epoch(self, tmp_path: Path) -> None:
+        path = write(
+            tmp_path,
+            "core/session.py",
+            """
+            class PreparedGraph:
+                def remember(self, cid, stage, value):
+                    self._cache[("c", cid, stage)] = value
+            """,
+        )
+        findings = rules_of(lint_file(path), "RPL014")
+        assert len(findings) == 1
+        assert "epoch" in findings[0].message
+
+    def test_component_key_with_epoch_is_sanctioned(
+        self, tmp_path: Path
+    ) -> None:
+        path = write(
+            tmp_path,
+            "core/session.py",
+            """
+            class PreparedGraph:
+                def remember(self, cid, epoch, stage, value):
+                    self._cache[("c", cid, epoch, stage)] = value
+            """,
+        )
+        assert rules_of(lint_file(path), "RPL014") == []
+
+    def test_store_call_key_is_inspected(self, tmp_path: Path) -> None:
+        path = write(
+            tmp_path,
+            "core/session.py",
+            """
+            class PreparedGraph:
+                def _store(self, key, value):
+                    self._cache[key] = value
+
+                def remember(self, cid, stage, value):
+                    self._store(("c", cid, stage), value)
+            """,
+        )
+        findings = rules_of(lint_file(path), "RPL014")
+        assert len(findings) == 1
+
+    def test_pragma_suppresses(self, tmp_path: Path) -> None:
+        path = write(
+            tmp_path,
+            "uncertain/graph.py",
+            """
+            class UncertainGraph:
+                def scrub(self):
+                    self._adj.clear()  # repro-lint: ignore[RPL014]
+            """,
+        )
+        assert rules_of(lint_file(path), "RPL014") == []
+
+
+class TestEpochKeyedCacheIsVersionSanctioned:
+    def test_epoch_key_passes_rpl012(self, tmp_path: Path) -> None:
+        # The component epoch is the per-component half of the version
+        # vector: a key carrying it is a valid invalidation key.
+        path = write(
+            tmp_path,
+            "core/session.py",
+            """
+            class PreparedGraph:
+                def remember(self, cid, epoch, stage, value):
+                    key = ("c", cid, epoch, stage)
+                    self._cache[key] = value
+            """,
+        )
+        assert rules_of(lint_file(path), "RPL012") == []

@@ -165,6 +165,9 @@ class TestUnvalidatedProbabilityStore:
         assert findings == []
 
     def test_graph_module_is_exempt_for_adj(self, tmp_path: Path) -> None:
+        # Exempt from RPL005 (the graph module owns _adj) — but a
+        # mutator that skips the component-epoch bookkeeping is exactly
+        # what RPL014 exists to catch.
         findings = lint_source(
             tmp_path,
             """
@@ -174,7 +177,7 @@ class TestUnvalidatedProbabilityStore:
             """,
             name="graph.py",
         )
-        assert findings == []
+        assert rule_ids(findings) == ["RPL014"]
 
 
 # ----------------------------------------------------------------------

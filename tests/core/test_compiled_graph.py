@@ -116,7 +116,9 @@ def _compile_entries(session: PreparedGraph) -> list[tuple]:
 def test_session_compiles_once_per_version() -> None:
     # Enumeration, maximum search and a repeat query at different
     # parameters all share one (version, "compile") entry; a mutation
-    # bumps the version and earns exactly one more.
+    # bumps the version and the superseded entry is delta-patched
+    # forward in place — one entry, now at the new version, with no
+    # second full lowering.
     graph = _two_triangles()
     session = PreparedGraph(graph)
     list(session.maximal_cliques(2, 0.3))
@@ -124,11 +126,14 @@ def test_session_compiles_once_per_version() -> None:
     session.max_uc_plus(2, 0.3)
     list(session.maximal_cliques(1, 0.5))
     assert len(_compile_entries(session)) == 1
+    assert session.cache_stats.full_compiles == 1
 
     session.graph.add_edge("c", "x", 0.7)
     list(session.maximal_cliques(2, 0.3))
-    versions = {key[0] for key in _compile_entries(session)}
-    assert len(versions) == 2
+    entries = _compile_entries(session)
+    assert [key[0] for key in entries] == [session.version]
+    assert session.cache_stats.delta_patches == 1
+    assert session.cache_stats.full_compiles == 1
 
 
 def test_cold_query_times_one_compile_and_warm_times_none() -> None:

@@ -119,3 +119,113 @@ class TestRandomizedSequences:
                 maintainer.add_edge(u, v, round(rng.uniform(0.05, 1.0), 3))
             expected = dp_core_plus(maintainer.graph, k, tau)
             assert maintainer.core == frozenset(expected), f"step {step}"
+
+
+# ----------------------------------------------------------------------
+# set_probability monotone fast paths (raise-only grows, lower-only
+# shrinks) vs a full recompute, on hypothesis update streams — including
+# the session-mode store_core republish.
+# ----------------------------------------------------------------------
+
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro import PreparedGraph, UncertainGraph  # noqa: E402
+
+_relaxed = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def _graph_and_reweights(draw):
+    n = draw(st.integers(min_value=3, max_value=8))
+    g = UncertainGraph(nodes=range(n))
+    edges = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            if draw(st.booleans()):
+                g.add_edge(u, v, draw(st.floats(min_value=0.1, max_value=0.9)))
+                edges.append((u, v))
+    if not edges:
+        g.add_edge(0, 1, 0.5)
+        edges.append((0, 1))
+    picks = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=len(edges) - 1),
+                st.floats(min_value=0.05, max_value=0.95),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    return g, edges, picks
+
+
+class TestSetProbabilityMonotoneFastPaths:
+    @_relaxed
+    @given(_graph_and_reweights())
+    def test_raise_only_streams_grow_monotonically(self, case):
+        g, edges, picks = case
+        k, tau = 2, 0.3
+        maintainer = KTauCoreMaintainer(g, k, tau)
+        for idx, _ in picks:
+            u, v = edges[idx]
+            work = maintainer.graph
+            p = work.probability(u, v)
+            raised = min(1.0, p + (1.0 - p) * 0.5)
+            previous = maintainer.core
+            core = maintainer.set_probability(u, v, raised)
+            # The grow fast path can only admit members, never evict.
+            assert core >= previous
+            assert core == frozenset(dp_core_plus(maintainer.graph, k, tau))
+
+    @_relaxed
+    @given(_graph_and_reweights())
+    def test_lower_only_streams_shrink_monotonically(self, case):
+        g, edges, picks = case
+        k, tau = 2, 0.3
+        maintainer = KTauCoreMaintainer(g, k, tau)
+        for idx, _ in picks:
+            u, v = edges[idx]
+            p = maintainer.graph.probability(u, v)
+            previous = maintainer.core
+            core = maintainer.set_probability(u, v, p * 0.5)
+            # The shrink fast path can only evict members, never admit.
+            assert core <= previous
+            assert core == frozenset(dp_core_plus(maintainer.graph, k, tau))
+
+    @_relaxed
+    @given(_graph_and_reweights())
+    def test_mixed_streams_match_full_recompute(self, case):
+        g, edges, picks = case
+        k, tau = 2, 0.3
+        maintainer = KTauCoreMaintainer(g, k, tau)
+        for idx, p in picks:
+            u, v = edges[idx]
+            core = maintainer.set_probability(u, v, p)
+            assert core == frozenset(dp_core_plus(maintainer.graph, k, tau))
+
+    @_relaxed
+    @given(_graph_and_reweights())
+    def test_session_mode_republishes_after_every_reweight(self, case):
+        g, edges, picks = case
+        k, tau = 2, 0.3
+        session = PreparedGraph(g)
+        maintainer = KTauCoreMaintainer(session, k, tau)
+        for idx, p in picks:
+            u, v = edges[idx]
+            core = maintainer.set_probability(u, v, p)
+            assert core == frozenset(dp_core_plus(g.copy(), k, tau))
+            # store_core republished the maintained core at the new
+            # version: the session's ktau pruning lap consumes it
+            # without peeling, so the query registers cache hits on the
+            # fresh version immediately.
+            hits_before = session.cache_stats.hits
+            cliques = list(session.maximal_cliques(k, tau, pruning="ktau"))
+            assert session.cache_stats.hits > hits_before
+            for clique in cliques:
+                assert clique <= core

@@ -108,9 +108,19 @@ class TestEviction:
         session = PreparedGraph(g)
         enum_payload(session, 2, 0.2)
         assert session.purge_stale() == 0
+        # A new disconnected edge supersedes the version-scoped entries
+        # but leaves the untouched components' entries live.
         session.graph.add_edge("x", "y", 0.9)
+        info = session.retention_info()
+        assert info["version_stale"] > 0
+        assert info["component_live"] > 0
+        assert info["component_stale"] == 0
+        assert session.purge_stale() == info["version_stale"]
+        assert session.cache_info()["entries"] == info["component_live"]
+        # Mutating an existing component stales that component's entries.
+        u, v, _ = next(iter(session.graph.edges()))
+        session.graph.set_probability(u, v, 0.5)
         assert session.purge_stale() > 0
-        assert session.cache_info()["entries"] == 0
 
 
 class TestInvalidation:
